@@ -1,0 +1,61 @@
+// Command ngsbench regenerates the paper's evaluation: Table I and
+// Figures 6-12. Sequential runs are measured for real on a scaled
+// synthetic dataset; multi-core points come from the calibrated cluster
+// model (see DESIGN.md for the substitution rationale).
+//
+// Usage:
+//
+//	ngsbench                    # every table and figure
+//	ngsbench -exp fig8          # one experiment
+//	ngsbench -reads 100000      # larger measured workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parseq"
+	"parseq/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: all, "+strings.Join(parseq.Experiments(), ", "))
+		reads = flag.Int("reads", 0, "alignment records in the measured dataset")
+		bins  = flag.Int("bins", 0, "histogram bins for the statistical experiments")
+		sims  = flag.Int("sims", 0, "FDR simulation datasets")
+		tmp   = flag.String("tmpdir", "", "scratch directory (default: a fresh temp dir)")
+		keep  = flag.Bool("keep", false, "keep scratch files")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	if *reads > 0 {
+		sc.Reads = *reads
+	}
+	if *bins > 0 {
+		sc.Bins = *bins
+	}
+	if *sims > 0 {
+		sc.Sims = *sims
+	}
+	sc.TmpDir = *tmp
+	sc.KeepTmp = *keep
+
+	if *exp == "all" {
+		if err := parseq.RunAllExperiments(os.Stdout, sc); err != nil {
+			die(err)
+		}
+		return
+	}
+	if err := parseq.RunExperiment(os.Stdout, *exp, sc); err != nil {
+		die(err)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "ngsbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command ngsstat runs the parallel statistical analysis module over
+// histogram datasets: non-local means denoising and false discovery rate
+// computation.
+//
+// Usage:
+//
+//	ngsstat -op nlmeans -in chip.hist.tsv -out denoised.tsv -r 80 -l 15 -sigma 10 -p 8
+//	ngsstat -op fdr -in chip.hist.tsv -sims 'chip.sim*.tsv' -pt 20 -p 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"parseq"
+	"parseq/internal/hist"
+)
+
+func main() {
+	var (
+		op    = flag.String("op", "", "operation: nlmeans or fdr")
+		in    = flag.String("in", "", "histogram dataset (one value per line)")
+		out   = flag.String("out", "", "output path (nlmeans)")
+		r     = flag.Int("r", 20, "NL-means search range radius")
+		l     = flag.Int("l", 15, "NL-means half patch size")
+		sigma = flag.Float64("sigma", 10, "NL-means filtering parameter")
+		cores = flag.Int("p", 1, "parallel workers/ranks")
+		sims  = flag.String("sims", "", "glob of simulation datasets (fdr)")
+		pt    = flag.Float64("pt", 1, "FDR threshold p_t")
+	)
+	flag.Parse()
+	if *in == "" || *op == "" {
+		fmt.Fprintln(os.Stderr, "ngsstat: -op and -in are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	histogram := readTSV(*in)
+
+	switch *op {
+	case "nlmeans":
+		p := parseq.NLMeansParams{R: *r, L: *l, Sigma: *sigma}
+		denoised, err := parseq.DenoiseParallel(histogram, p, *cores)
+		if err != nil {
+			die(err)
+		}
+		dst := *out
+		if dst == "" {
+			dst = *in + ".denoised"
+		}
+		f, err := os.Create(dst)
+		if err != nil {
+			die(err)
+		}
+		if err := hist.WriteTSV(f, denoised); err != nil {
+			f.Close()
+			die(err)
+		}
+		if err := f.Close(); err != nil {
+			die(err)
+		}
+		fmt.Printf("denoised %d bins (r=%d l=%d sigma=%g, %d workers) → %s\n",
+			len(denoised), *r, *l, *sigma, *cores, dst)
+
+	case "fdr":
+		if *sims == "" {
+			die(fmt.Errorf("-op fdr requires -sims"))
+		}
+		paths, err := filepath.Glob(*sims)
+		if err != nil {
+			die(err)
+		}
+		if len(paths) == 0 {
+			die(fmt.Errorf("no simulation datasets match %q", *sims))
+		}
+		sort.Strings(paths)
+		simData := make([][]float64, len(paths))
+		for i, p := range paths {
+			simData[i] = readTSV(p)
+		}
+		v, err := parseq.FDRParallel(histogram, simData, *pt, *cores)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("FDR(p_t=%g) = %.6g  (%d bins, %d simulations, %d ranks)\n",
+			*pt, v, len(histogram), len(simData), *cores)
+
+	default:
+		die(fmt.Errorf("unknown -op %q (want nlmeans or fdr)", *op))
+	}
+}
+
+func readTSV(path string) []float64 {
+	f, err := os.Open(path)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	v, err := hist.ReadTSV(f)
+	if err != nil {
+		die(fmt.Errorf("%s: %w", path, err))
+	}
+	return v
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "ngsstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,35 @@
+// Command samstat prints samtools-flagstat-style summary statistics for
+// a SAM file, computed in parallel with the framework's Algorithm 1
+// partitioning.
+//
+// Usage:
+//
+//	samstat -in reads.sam -p 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parseq/internal/flagstat"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "SAM file")
+		cores = flag.Int("p", 1, "parallel ranks")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "samstat: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	stats, err := flagstat.SAMFile(*in, *cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samstat:", err)
+		os.Exit(1)
+	}
+	fmt.Print(stats.Format())
+}

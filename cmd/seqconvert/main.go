@@ -1,0 +1,142 @@
+// Command seqconvert is the parallel sequence data format converter: it
+// converts SAM, BAM or preprocessed BAMX datasets into SAM, BED,
+// BEDGRAPH, FASTA, FASTQ, JSON or YAML with one output file per rank.
+//
+// Usage:
+//
+//	seqconvert -in data.sam  -format bed -p 8 -out outdir
+//	seqconvert -in data.bam  -preprocess              # data.bamx + data.baix
+//	seqconvert -in data.bamx -format sam -p 8 -region chr1:1-500000
+//	seqconvert -in data.sam  -converter psam -format fastq -p 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parseq"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input file (.sam, .bam or .bamx)")
+		format    = flag.String("format", "sam", "target format: "+strings.Join(parseq.Formats(), ", "))
+		cores     = flag.Int("p", 1, "parallel ranks")
+		outDir    = flag.String("out", ".", "output directory")
+		prefix    = flag.String("prefix", "out", "output file prefix")
+		region    = flag.String("region", "", "partial conversion region, e.g. chr1:100-200 (BAMX only)")
+		converter = flag.String("converter", "auto", "converter instance: auto, sam, bam, psam")
+		preproc   = flag.Bool("preprocess", false, "only preprocess the input into BAMX/BAIX")
+		preCores  = flag.Int("pre-p", 0, "preprocessing ranks for the psam converter (default: -p)")
+		baix      = flag.String("baix", "", "BAIX index path (default: input with .baix)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "seqconvert: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *preCores == 0 {
+		*preCores = *cores
+	}
+
+	kind := *converter
+	if kind == "auto" {
+		switch {
+		case strings.HasSuffix(*in, ".sam"):
+			kind = "sam"
+		case strings.HasSuffix(*in, ".bam"):
+			kind = "bam"
+		case strings.HasSuffix(*in, ".bamx"):
+			kind = "bamx"
+		case strings.HasSuffix(*in, ".bamz"):
+			kind = "bamz"
+		default:
+			die(fmt.Errorf("cannot infer converter for %q; pass -converter", *in))
+		}
+	}
+
+	opts := parseq.Options{
+		Format: *format, Cores: *cores, OutDir: *outDir, OutPrefix: *prefix,
+	}
+	if *region != "" {
+		r, err := parseq.ParseRegion(*region)
+		if err != nil {
+			die(err)
+		}
+		opts.Region = &r
+	}
+
+	if *preproc {
+		base := strings.TrimSuffix(*in, ".sam")
+		base = strings.TrimSuffix(base, ".bam")
+		switch kind {
+		case "bam":
+			res, err := parseq.PreprocessBAM(*in, base+".bamx", base+".baix")
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("preprocessed %d records into %s in %v\n",
+				res.Records, res.BAMXFiles[0], res.Duration)
+		case "sam", "psam":
+			res, err := parseq.PreprocessSAM(*in, *outDir, *prefix, *preCores)
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("preprocessed %d records into %d BAMX shards in %v\n",
+				res.Records, len(res.BAMXFiles), res.Duration)
+		default:
+			die(fmt.Errorf("-preprocess needs a SAM or BAM input"))
+		}
+		return
+	}
+
+	var (
+		res *parseq.Result
+		err error
+	)
+	switch kind {
+	case "sam":
+		if opts.Format == "bam" {
+			res, err = parseq.ConvertSAMToBAM(*in, opts)
+			break
+		}
+		res, err = parseq.ConvertSAM(*in, opts)
+	case "bam":
+		// Sequential direct conversion; for parallel BAM conversion run
+		// -preprocess first and convert the .bamx.
+		res, err = parseq.ConvertBAMSequential(*in, opts)
+	case "bamx":
+		ix := *baix
+		if ix == "" {
+			ix = strings.TrimSuffix(*in, ".bamx") + ".baix"
+		}
+		res, err = parseq.ConvertBAMX(*in, ix, opts)
+	case "bamz":
+		ix := *baix
+		if ix == "" {
+			ix = strings.TrimSuffix(*in, ".bamz") + ".baix"
+		}
+		res, err = parseq.ConvertBAMZ(*in, ix, opts)
+	case "psam":
+		res, err = parseq.ConvertSAMPreprocessed(*in, *preCores, opts)
+	default:
+		err = fmt.Errorf("unknown converter %q", kind)
+	}
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("converted %d records (%d emitted, %d bytes) into %d files in %v\n",
+		res.Stats.Records, res.Stats.Emitted, res.Stats.BytesOut,
+		len(res.Files), res.Stats.PartitionTime+res.Stats.ConvertTime)
+	if res.Stats.PreprocessTime > 0 {
+		fmt.Printf("preprocessing took %v (amortisable)\n", res.Stats.PreprocessTime)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "seqconvert:", err)
+	os.Exit(1)
+}

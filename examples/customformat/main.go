@@ -1,0 +1,98 @@
+// Custom target format: the paper's extensibility claim in action. "If
+// the user needs to convert SAM into another format … all the user has
+// to do is to implement a format conversion function in the user
+// program" — here a GFF3 encoder is registered and immediately usable by
+// every converter instance, with partitioning, concurrency and file
+// management untouched.
+//
+//	go run ./examples/customformat
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"parseq"
+	"parseq/internal/sam"
+)
+
+// gff3 emits one GFF3 feature line per mapped alignment.
+type gff3 struct{}
+
+func (gff3) Name() string      { return "gff3" }
+func (gff3) Extension() string { return ".gff3" }
+
+func (gff3) Header(*sam.Header) []byte {
+	return []byte("##gff-version 3\n")
+}
+
+func (gff3) Encode(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error) {
+	if rec.Unmapped() {
+		return dst, nil
+	}
+	strand := "+"
+	if rec.Flag.Reverse() {
+		strand = "-"
+	}
+	// seqid source type start end score strand phase attributes
+	dst = append(dst, rec.RName...)
+	dst = append(dst, "\tparseq\tread\t"...)
+	dst = strconv.AppendInt(dst, int64(rec.Pos), 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, int64(rec.End()), 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, int64(rec.MapQ), 10)
+	dst = append(dst, '\t')
+	dst = append(dst, strand...)
+	dst = append(dst, "\t.\tID="...)
+	dst = append(dst, rec.QName...)
+	return append(dst, '\n'), nil
+}
+
+func main() {
+	// One registration call makes "gff3" a first-class target format.
+	if err := parseq.RegisterFormat("gff3", func() parseq.FormatEncoder { return gff3{} }); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("formats now: %v\n", parseq.Formats())
+
+	dir, err := os.MkdirTemp("", "parseq-custom-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dataset := parseq.GenerateDataset(parseq.DefaultDatasetConfig(5000))
+	samPath := filepath.Join(dir, "reads.sam")
+	f, err := os.Create(samPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.WriteSAM(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The parallel runtime drives the new format like any built-in.
+	res, err := parseq.ConvertSAM(samPath, parseq.Options{
+		Format: "gff3", Cores: 4, OutDir: dir, OutPrefix: "reads",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converted %d records → %d GFF3 features across %d rank files\n",
+		res.Stats.Records, res.Stats.Emitted, len(res.Files))
+
+	head, err := os.ReadFile(res.Files[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(head) > 300 {
+		head = head[:300]
+	}
+	fmt.Printf("first shard preview:\n%s…\n", head)
+}

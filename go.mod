@@ -1,0 +1,3 @@
+module parseq
+
+go 1.22

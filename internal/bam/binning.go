@@ -1,0 +1,54 @@
+package bam
+
+// The UCSC binning scheme (Kent et al.) is a 6-level R-tree flattening:
+// the genome is covered by bins of 512 Mb, 64 Mb, 8 Mb, 1 Mb, 128 kb and
+// 16 kb, and every alignment is filed under the smallest bin that wholly
+// contains it. BAI reuses the scheme so a region query touches at most a
+// few dozen bins instead of the whole file.
+
+// maxBin is the number of bins in the scheme (bin IDs 0..37449).
+const maxBin = ((1 << 18) - 1) / 7
+
+// linearShift is the 16 kb window size of the BAI linear index.
+const linearShift = 14
+
+// reg2bin returns the smallest bin containing the zero-based half-open
+// interval [beg, end). end must be > beg for meaningful results; callers
+// pass end = beg+1 for zero-length features, as samtools does.
+func reg2bin(beg, end int) int {
+	end--
+	switch {
+	case beg>>14 == end>>14:
+		return ((1<<15)-1)/7 + (beg >> 14)
+	case beg>>17 == end>>17:
+		return ((1<<12)-1)/7 + (beg >> 17)
+	case beg>>20 == end>>20:
+		return ((1<<9)-1)/7 + (beg >> 20)
+	case beg>>23 == end>>23:
+		return ((1<<6)-1)/7 + (beg >> 23)
+	case beg>>26 == end>>26:
+		return ((1<<3)-1)/7 + (beg >> 26)
+	}
+	return 0
+}
+
+// reg2bins appends to dst the IDs of all bins that may contain alignments
+// overlapping [beg, end), zero-based half-open.
+func reg2bins(dst []int, beg, end int) []int {
+	if beg < 0 {
+		beg = 0
+	}
+	if end <= beg {
+		return dst
+	}
+	end--
+	dst = append(dst, 0)
+	for _, lvl := range []struct{ offset, shift int }{
+		{1, 26}, {9, 23}, {73, 20}, {585, 17}, {4681, 14},
+	} {
+		for k := lvl.offset + (beg >> lvl.shift); k <= lvl.offset+(end>>lvl.shift); k++ {
+			dst = append(dst, k)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,215 @@
+package bam
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"parseq/internal/bgzf"
+	"parseq/internal/sam"
+)
+
+// Reader decodes a BAM stream: the BAM header (SAM header text plus the
+// binary reference dictionary) eagerly, then one record per Read call.
+type Reader struct {
+	bg     *bgzf.Reader
+	header *sam.Header
+	buf    []byte // reusable record-body buffer
+	err    error
+}
+
+// NewReader wraps a BGZF-compressed BAM stream and decodes the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := &Reader{bg: bgzf.NewReader(r)}
+	var magic [4]byte
+	if _, err := io.ReadFull(br.bg, magic[:]); err != nil {
+		return nil, fmt.Errorf("bam: reading magic: %w", err)
+	}
+	if string(magic[:]) != string(Magic) {
+		return nil, errors.New("bam: bad magic (not a BAM file)")
+	}
+	var n int32
+	if err := binary.Read(br.bg, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("bam: header length: %w", err)
+	}
+	if n < 0 {
+		return nil, errors.New("bam: negative header length")
+	}
+	text := make([]byte, n)
+	if _, err := io.ReadFull(br.bg, text); err != nil {
+		return nil, fmt.Errorf("bam: header text: %w", err)
+	}
+	h, err := sam.ParseHeader(string(text))
+	if err != nil {
+		return nil, err
+	}
+	var nRef int32
+	if err := binary.Read(br.bg, binary.LittleEndian, &nRef); err != nil {
+		return nil, fmt.Errorf("bam: reference count: %w", err)
+	}
+	for i := int32(0); i < nRef; i++ {
+		var lName int32
+		if err := binary.Read(br.bg, binary.LittleEndian, &lName); err != nil {
+			return nil, fmt.Errorf("bam: reference %d: %w", i, err)
+		}
+		if lName <= 0 {
+			return nil, fmt.Errorf("bam: reference %d: bad name length %d", i, lName)
+		}
+		name := make([]byte, lName)
+		if _, err := io.ReadFull(br.bg, name); err != nil {
+			return nil, fmt.Errorf("bam: reference %d name: %w", i, err)
+		}
+		var lRef int32
+		if err := binary.Read(br.bg, binary.LittleEndian, &lRef); err != nil {
+			return nil, fmt.Errorf("bam: reference %d length: %w", i, err)
+		}
+		// The binary dictionary is authoritative; the SAM text usually
+		// repeats it, and AddReference deduplicates.
+		h.AddReference(string(name[:lName-1]), int(lRef))
+	}
+	br.header = h
+	return br, nil
+}
+
+// Header returns the decoded header.
+func (br *Reader) Header() *sam.Header { return br.header }
+
+// Offset returns the virtual offset of the next record.
+func (br *Reader) Offset() bgzf.VOffset { return br.bg.Offset() }
+
+// Seek positions the reader at a virtual offset previously obtained from
+// Offset or from an index.
+func (br *Reader) Seek(v bgzf.VOffset) error {
+	if err := br.bg.Seek(v); err != nil {
+		return err
+	}
+	br.err = nil
+	return nil
+}
+
+// Read decodes the next record. It returns io.EOF at the end of stream.
+func (br *Reader) Read() (sam.Record, error) {
+	var rec sam.Record
+	err := br.ReadInto(&rec)
+	return rec, err
+}
+
+// ReadInto decodes the next record into rec, reusing its storage.
+func (br *Reader) ReadInto(rec *sam.Record) error {
+	body, err := br.ReadBody()
+	if err != nil {
+		return err
+	}
+	if err := DecodeRecord(body, rec, br.header); err != nil {
+		br.err = err
+		return err
+	}
+	return nil
+}
+
+// ReadBody returns the next record's raw encoded body (without the
+// block_size prefix). The slice is valid until the next Read* call. It
+// is the zero-decode path preprocessors use to measure and relocate
+// records without materialising alignment objects.
+func (br *Reader) ReadBody() ([]byte, error) {
+	if br.err != nil {
+		return nil, br.err
+	}
+	var sizeBuf [4]byte
+	if _, err := io.ReadFull(br.bg, sizeBuf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("%w: truncated record size", ErrInvalidRecord)
+		}
+		br.err = err
+		return nil, err
+	}
+	size := int(int32(binary.LittleEndian.Uint32(sizeBuf[:])))
+	if size < 32 {
+		br.err = fmt.Errorf("%w: block_size %d", ErrInvalidRecord, size)
+		return nil, br.err
+	}
+	if cap(br.buf) < size {
+		br.buf = make([]byte, size)
+	}
+	body := br.buf[:size]
+	if _, err := io.ReadFull(br.bg, body); err != nil {
+		br.err = fmt.Errorf("%w: truncated record body: %v", ErrInvalidRecord, err)
+		return nil, br.err
+	}
+	return body, nil
+}
+
+// ReadAll consumes the remaining records.
+func (br *Reader) ReadAll() ([]sam.Record, error) {
+	var recs []sam.Record
+	for {
+		rec, err := br.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// Writer encodes records into a BAM stream.
+type Writer struct {
+	bg     *bgzf.Writer
+	header *sam.Header
+	buf    []byte
+	err    error
+}
+
+// NewWriter wraps w, writing the BAM header immediately.
+func NewWriter(w io.Writer, h *sam.Header) (*Writer, error) {
+	bw := &Writer{bg: bgzf.NewWriter(w), header: h}
+	text := h.String()
+	hdr := make([]byte, 0, 16+len(text))
+	hdr = append(hdr, Magic...)
+	hdr = appendInt32(hdr, int32(len(text)))
+	hdr = append(hdr, text...)
+	hdr = appendInt32(hdr, int32(len(h.Refs)))
+	for _, ref := range h.Refs {
+		hdr = appendInt32(hdr, int32(len(ref.Name)+1))
+		hdr = append(hdr, ref.Name...)
+		hdr = append(hdr, 0)
+		hdr = appendInt32(hdr, int32(ref.Length))
+	}
+	if _, err := bw.bg.Write(hdr); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+// Offset returns the virtual offset the next record will be written at.
+// Callers building an index record this before each Write.
+func (bw *Writer) Offset() bgzf.VOffset { return bw.bg.Offset() }
+
+// Write encodes one record.
+func (bw *Writer) Write(rec *sam.Record) error {
+	if bw.err != nil {
+		return bw.err
+	}
+	var err error
+	bw.buf, err = EncodeRecord(bw.buf[:0], rec, bw.header)
+	if err != nil {
+		bw.err = err
+		return err
+	}
+	if _, err := bw.bg.Write(bw.buf); err != nil {
+		bw.err = err
+		return err
+	}
+	return nil
+}
+
+// Close flushes pending blocks and writes the BGZF EOF marker.
+func (bw *Writer) Close() error {
+	if bw.err != nil {
+		return bw.err
+	}
+	return bw.bg.Close()
+}

@@ -1,0 +1,194 @@
+package bam
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"parseq/internal/sam"
+)
+
+// bodySpan extracts the reference span of a BAM record body without a
+// full decode: refID, zero-based start, and zero-based exclusive end
+// (start+1 for unmapped or CIGAR-less records, per samtools convention).
+func bodySpan(body []byte) (refID int32, beg, end int) {
+	refID = int32(binary.LittleEndian.Uint32(body[0:]))
+	beg = int(int32(binary.LittleEndian.Uint32(body[4:])))
+	nameLen := int(body[8])
+	nCigar := int(binary.LittleEndian.Uint16(body[12:]))
+	refLen := 0
+	off := 32 + nameLen
+	for i := 0; i < nCigar; i++ {
+		op := sam.CigarOp(binary.LittleEndian.Uint32(body[off+4*i:]))
+		if op.Type().ConsumesReference() {
+			refLen += op.Len()
+		}
+	}
+	if refLen == 0 {
+		refLen = 1
+	}
+	return refID, beg, beg + refLen
+}
+
+// BuildFileIndex scans a coordinate-sorted BAM stream and builds its BAI
+// index. The stream is consumed; callers reopen or seek to read again.
+func BuildFileIndex(r io.Reader) (*Index, error) {
+	br, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	idx := NewIndex(len(br.Header().Refs))
+	lastRef, lastPos := int32(-1), -1
+	for {
+		chunkBeg := br.Offset()
+		body, err := br.ReadBody()
+		if err == io.EOF {
+			return idx, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		refID, beg, end := bodySpan(body)
+		if refID >= 0 {
+			if refID < lastRef || (refID == lastRef && beg < lastPos) {
+				return nil, fmt.Errorf("bam: input not coordinate-sorted at %s:%d",
+					br.Header().RefByID(int(refID)).Name, beg+1)
+			}
+			lastRef, lastPos = refID, beg
+		}
+		if err := idx.Add(int(refID), beg, end, chunkBeg, br.Offset()); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// RegionReader iterates the records of an indexed BAM file that overlap
+// one zero-based half-open reference interval, in file order.
+type RegionReader struct {
+	br       *Reader
+	chunks   []Chunk
+	chunk    int
+	inChunk  bool
+	refID    int32
+	beg, end int
+	err      error
+}
+
+// NewRegionReader positions a reader over the records overlapping
+// [beg, end) on refName. The reader's underlying stream must be seekable.
+func NewRegionReader(br *Reader, idx *Index, refName string, beg, end int) (*RegionReader, error) {
+	refID := br.Header().RefID(refName)
+	if refID < 0 {
+		return nil, fmt.Errorf("bam: reference %q not in header", refName)
+	}
+	return &RegionReader{
+		br:     br,
+		chunks: idx.Query(refID, beg, end),
+		refID:  int32(refID),
+		beg:    beg,
+		end:    end,
+	}, nil
+}
+
+// Read returns the next overlapping record, or io.EOF.
+func (rr *RegionReader) Read() (sam.Record, error) {
+	var rec sam.Record
+	err := rr.ReadInto(&rec)
+	return rec, err
+}
+
+// ReadInto decodes the next overlapping record into rec, or returns
+// io.EOF when the region is exhausted.
+func (rr *RegionReader) ReadInto(rec *sam.Record) error {
+	if rr.err != nil {
+		return rr.err
+	}
+	for {
+		if !rr.inChunk {
+			if rr.chunk >= len(rr.chunks) {
+				rr.err = io.EOF
+				return rr.err
+			}
+			if err := rr.br.Seek(rr.chunks[rr.chunk].Beg); err != nil {
+				rr.err = err
+				return err
+			}
+			rr.inChunk = true
+		}
+		if rr.br.Offset() >= rr.chunks[rr.chunk].End {
+			rr.chunk++
+			rr.inChunk = false
+			continue
+		}
+		body, err := rr.br.ReadBody()
+		if err == io.EOF {
+			rr.chunk++
+			rr.inChunk = false
+			continue
+		}
+		if err != nil {
+			rr.err = err
+			return err
+		}
+		refID, beg, end := bodySpan(body)
+		if refID != rr.refID {
+			// Sorted input: past the reference means past the region.
+			if refID > rr.refID {
+				rr.chunk++
+				rr.inChunk = false
+			}
+			continue
+		}
+		if beg >= rr.end {
+			// Sorted within the reference: nothing later can overlap.
+			rr.chunk++
+			rr.inChunk = false
+			continue
+		}
+		if end <= rr.beg {
+			continue
+		}
+		if err := DecodeRecord(body, rec, rr.br.Header()); err != nil {
+			rr.err = err
+			return err
+		}
+		return nil
+	}
+}
+
+// CountRegion returns how many records overlap the region — the cheap
+// index-backed census operation.
+func CountRegion(br *Reader, idx *Index, refName string, beg, end int) (int, error) {
+	rr, err := NewRegionReader(br, idx, refName, beg, end)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	var rec sam.Record
+	for {
+		if err := rr.ReadInto(&rec); err == io.EOF {
+			return n, nil
+		} else if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// WriteIndexFile builds and writes a .bai file for a BAM file opened via
+// the given ReadSeeker, restoring the stream position afterwards.
+func WriteIndexFile(rs io.ReadSeeker, w io.Writer) error {
+	start, err := rs.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	idx, err := BuildFileIndex(rs)
+	if err != nil {
+		return err
+	}
+	if _, err := rs.Seek(start, io.SeekStart); err != nil {
+		return err
+	}
+	_, err = idx.WriteTo(w)
+	return err
+}

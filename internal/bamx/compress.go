@@ -1,0 +1,374 @@
+package bamx
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"parseq/internal/bam"
+	"parseq/internal/sam"
+)
+
+// Compressed BAMX ("BAMZ") implements the paper's future-work plan to
+// "utilize certain compression techniques during the BAMX/BAIX file
+// generation" (Section VII) without giving up the random access the
+// format exists for: records are grouped into fixed-count blocks, each
+// deflate-compressed independently, and a block-offset table at the end
+// of the file maps any record index to its block by arithmetic —
+// record i lives at intra-block offset (i mod recsPerBlock)·stride of
+// block i/recsPerBlock.
+//
+// File layout:
+//
+//	magic "BAMZ\x01"
+//	caps (4×uint32) | recsPerBlock uint32 | l_text uint32 | SAM header text
+//	compressed blocks…
+//	block table: (n_blocks+1) × uint64 absolute offsets
+//	footer: table offset uint64 | record count uint64 | magic again
+var compressedMagic = []byte{'B', 'A', 'M', 'Z', 1}
+
+const compressedFooterSize = 8 + 8 + 5
+
+// DefaultRecsPerBlock groups records so a block decompresses to roughly
+// 256 KiB at typical strides.
+const DefaultRecsPerBlock = 512
+
+// Format limits: one decompressed block may not exceed maxBlockBytes and
+// records per block may not exceed maxRecsPerBlock. Readers enforce them
+// so corrupt headers cannot demand unbounded allocations.
+const (
+	maxRecsPerBlock = 1 << 20
+	maxBlockBytes   = 1 << 30
+)
+
+// CompressedWriter emits a compressed BAMX file. The output is streamed;
+// the block table lands at the end, so a plain io.Writer suffices.
+type CompressedWriter struct {
+	w            io.Writer
+	header       *sam.Header
+	caps         Caps
+	recsPerBlock int
+	stride       int
+
+	rec     []byte // stride-sized padding scratch
+	body    []byte // BAM-encoding scratch
+	block   []byte // pending uncompressed block
+	scratch bytes.Buffer
+	offsets []uint64 // absolute offset of each block start
+	written int64
+	count   int64
+	err     error
+}
+
+// NewCompressedWriter writes the header and returns a record writer.
+func NewCompressedWriter(w io.Writer, h *sam.Header, caps Caps, recsPerBlock int) (*CompressedWriter, error) {
+	if caps.QName < 2 || caps.Seq < 1 {
+		return nil, fmt.Errorf("bamx: degenerate caps %+v", caps)
+	}
+	if recsPerBlock < 1 {
+		recsPerBlock = DefaultRecsPerBlock
+	}
+	if recsPerBlock > maxRecsPerBlock || int64(recsPerBlock)*int64(caps.Stride()) > maxBlockBytes {
+		return nil, fmt.Errorf("bamx: %d records × %d-byte stride exceeds the block limit",
+			recsPerBlock, caps.Stride())
+	}
+	text := h.String()
+	hdr := make([]byte, 0, 40+len(text))
+	hdr = append(hdr, compressedMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(caps.QName))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(caps.CigarOps))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(caps.Seq))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(caps.Aux))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(recsPerBlock))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(text)))
+	hdr = append(hdr, text...)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, err
+	}
+	stride := caps.Stride()
+	return &CompressedWriter{
+		w:            w,
+		header:       h,
+		caps:         caps,
+		recsPerBlock: recsPerBlock,
+		stride:       stride,
+		rec:          make([]byte, stride),
+		block:        make([]byte, 0, recsPerBlock*stride),
+		written:      int64(len(hdr)),
+	}, nil
+}
+
+// Write appends one alignment.
+func (w *CompressedWriter) Write(rec *sam.Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	var err error
+	w.body, err = bam.EncodeRecord(w.body[:0], rec, w.header)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	return w.WriteEncoded(w.body[4:])
+}
+
+// WriteEncoded appends one record from its BAM-encoded body.
+func (w *CompressedWriter) WriteEncoded(body []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := padRecord(w.rec, body, w.caps); err != nil {
+		w.err = err
+		return err
+	}
+	w.block = append(w.block, w.rec...)
+	w.count++
+	if len(w.block) == w.recsPerBlock*w.stride {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// Count returns the records written so far.
+func (w *CompressedWriter) Count() int64 { return w.count }
+
+func (w *CompressedWriter) flushBlock() error {
+	if len(w.block) == 0 {
+		return nil
+	}
+	w.offsets = append(w.offsets, uint64(w.written))
+	w.scratch.Reset()
+	fw, err := flate.NewWriter(&w.scratch, flate.DefaultCompression)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := fw.Write(w.block); err != nil {
+		w.err = err
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		w.err = err
+		return err
+	}
+	n, err := w.w.Write(w.scratch.Bytes())
+	if err != nil {
+		w.err = err
+		return err
+	}
+	w.written += int64(n)
+	w.block = w.block[:0]
+	return nil
+}
+
+// Close flushes the final block and writes the table and footer.
+func (w *CompressedWriter) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	tableOffset := uint64(w.written)
+	table := make([]byte, 0, 8*(len(w.offsets)+1)+compressedFooterSize)
+	for _, off := range w.offsets {
+		table = binary.LittleEndian.AppendUint64(table, off)
+	}
+	// Sentinel: end of the last block = start of the table.
+	table = binary.LittleEndian.AppendUint64(table, tableOffset)
+	table = binary.LittleEndian.AppendUint64(table, tableOffset)
+	table = binary.LittleEndian.AppendUint64(table, uint64(w.count))
+	table = append(table, compressedMagic...)
+	if _, err := w.w.Write(table); err != nil {
+		w.err = err
+		return err
+	}
+	w.err = fmt.Errorf("bamx: compressed writer closed")
+	return nil
+}
+
+// CompressedFile provides random access to a compressed BAMX file.
+type CompressedFile struct {
+	r            io.ReaderAt
+	header       *sam.Header
+	caps         Caps
+	recsPerBlock int
+	stride       int
+	count        int64
+	offsets      []uint64 // block starts plus end sentinel
+
+	cachedBlock int64 // index of the cached decompressed block, -1 if none
+	cache       []byte
+	body        []byte
+}
+
+// OpenCompressed validates the footer and table of a compressed BAMX
+// file of the given total size.
+func OpenCompressed(r io.ReaderAt, size int64) (*CompressedFile, error) {
+	fixed := make([]byte, len(compressedMagic)+24)
+	if _, err := r.ReadAt(fixed, 0); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotBAMX, err)
+	}
+	if string(fixed[:len(compressedMagic)]) != string(compressedMagic) {
+		return nil, ErrNotBAMX
+	}
+	p := fixed[len(compressedMagic):]
+	caps := Caps{
+		QName:    int(binary.LittleEndian.Uint32(p[0:])),
+		CigarOps: int(binary.LittleEndian.Uint32(p[4:])),
+		Seq:      int(binary.LittleEndian.Uint32(p[8:])),
+		Aux:      int(binary.LittleEndian.Uint32(p[12:])),
+	}
+	recsPerBlock := int(binary.LittleEndian.Uint32(p[16:]))
+	textLen := int(binary.LittleEndian.Uint32(p[20:]))
+	if recsPerBlock < 1 || recsPerBlock > maxRecsPerBlock || caps.Stride() <= prefixSize ||
+		int64(recsPerBlock)*int64(caps.Stride()) > maxBlockBytes {
+		return nil, ErrCorrupt
+	}
+	text := make([]byte, textLen)
+	if _, err := r.ReadAt(text, int64(len(fixed))); err != nil {
+		return nil, fmt.Errorf("%w: header text: %v", ErrCorrupt, err)
+	}
+	h, err := sam.ParseHeader(string(text))
+	if err != nil {
+		return nil, err
+	}
+
+	footer := make([]byte, compressedFooterSize)
+	if size < int64(len(footer)) {
+		return nil, ErrCorrupt
+	}
+	if _, err := r.ReadAt(footer, size-int64(len(footer))); err != nil {
+		return nil, fmt.Errorf("%w: footer: %v", ErrCorrupt, err)
+	}
+	if string(footer[16:]) != string(compressedMagic) {
+		return nil, fmt.Errorf("%w: bad footer magic", ErrCorrupt)
+	}
+	tableOffset := int64(binary.LittleEndian.Uint64(footer))
+	count := int64(binary.LittleEndian.Uint64(footer[8:]))
+	if count < 0 || tableOffset < int64(len(fixed)+textLen) || tableOffset > size {
+		return nil, fmt.Errorf("%w: footer values out of range", ErrCorrupt)
+	}
+	nBlocks := (count + int64(recsPerBlock) - 1) / int64(recsPerBlock)
+	// count is untrusted: bound the table size by the bytes actually
+	// between the table offset and the footer (guards OOM and overflow).
+	tableRoom := (size - compressedFooterSize - tableOffset) / 8
+	if nBlocks < 0 || nBlocks+1 > tableRoom {
+		return nil, fmt.Errorf("%w: table truncated (%d blocks declared, room for %d entries)",
+			ErrCorrupt, nBlocks, tableRoom)
+	}
+	tableBytes := 8 * (nBlocks + 1)
+	raw := make([]byte, tableBytes)
+	if _, err := r.ReadAt(raw, tableOffset); err != nil {
+		return nil, fmt.Errorf("%w: table: %v", ErrCorrupt, err)
+	}
+	offsets := make([]uint64, nBlocks+1)
+	for i := range offsets {
+		offsets[i] = binary.LittleEndian.Uint64(raw[8*i:])
+		if i > 0 && offsets[i] < offsets[i-1] {
+			return nil, fmt.Errorf("%w: table not monotone", ErrCorrupt)
+		}
+		// Offsets address the data section; anything past the table start
+		// would make a block "contain" the table or footer.
+		if offsets[i] > uint64(tableOffset) {
+			return nil, fmt.Errorf("%w: block offset beyond table", ErrCorrupt)
+		}
+	}
+	return &CompressedFile{
+		r:            r,
+		header:       h,
+		caps:         caps,
+		recsPerBlock: recsPerBlock,
+		stride:       caps.Stride(),
+		count:        count,
+		offsets:      offsets,
+		cachedBlock:  -1,
+	}, nil
+}
+
+// Header returns the embedded SAM header.
+func (f *CompressedFile) Header() *sam.Header { return f.header }
+
+// Caps returns the file's field capacities.
+func (f *CompressedFile) Caps() Caps { return f.caps }
+
+// NumRecords returns the record count.
+func (f *CompressedFile) NumRecords() int64 { return f.count }
+
+// NumBlocks returns the number of compressed blocks.
+func (f *CompressedFile) NumBlocks() int { return len(f.offsets) - 1 }
+
+// loadBlock decompresses block b into the single-block cache.
+func (f *CompressedFile) loadBlock(b int64) error {
+	if b == f.cachedBlock {
+		return nil
+	}
+	if b < 0 || int(b) >= f.NumBlocks() {
+		return fmt.Errorf("bamx: block %d out of range [0, %d)", b, f.NumBlocks())
+	}
+	compLen := int64(f.offsets[b+1] - f.offsets[b])
+	comp := make([]byte, compLen)
+	if _, err := f.r.ReadAt(comp, int64(f.offsets[b])); err != nil {
+		return fmt.Errorf("%w: block %d: %v", ErrCorrupt, b, err)
+	}
+	recs := int64(f.recsPerBlock)
+	if rem := f.count - b*recs; rem < recs {
+		recs = rem
+	}
+	want := int(recs) * f.stride
+	if cap(f.cache) < want {
+		f.cache = make([]byte, want)
+	}
+	f.cache = f.cache[:want]
+	fr := flate.NewReader(bytes.NewReader(comp))
+	if _, err := io.ReadFull(fr, f.cache); err != nil {
+		return fmt.Errorf("%w: block %d: %v", ErrCorrupt, b, err)
+	}
+	f.cachedBlock = b
+	return nil
+}
+
+// ReadRecord random-accesses record i. Consecutive accesses within one
+// block reuse the decompressed cache.
+func (f *CompressedFile) ReadRecord(i int64, rec *sam.Record) error {
+	if i < 0 || i >= f.count {
+		return fmt.Errorf("bamx: record %d out of range [0, %d)", i, f.count)
+	}
+	if err := f.loadBlock(i / int64(f.recsPerBlock)); err != nil {
+		return err
+	}
+	intra := int(i%int64(f.recsPerBlock)) * f.stride
+	raw := f.cache[intra : intra+f.stride]
+	var err error
+	f.body, err = unpadRecord(f.body[:0], raw, f.caps)
+	if err != nil {
+		return err
+	}
+	return bam.DecodeRecord(f.body, rec, f.header)
+}
+
+// CompressBAMX rewrites a plain BAMX file as a compressed one, returning
+// the record count.
+func CompressBAMX(src *File, w io.Writer, recsPerBlock int) (int64, error) {
+	cw, err := NewCompressedWriter(w, src.Header(), src.Caps(), recsPerBlock)
+	if err != nil {
+		return 0, err
+	}
+	raw := make([]byte, src.Stride())
+	body := make([]byte, 0, src.Stride())
+	for i := int64(0); i < src.NumRecords(); i++ {
+		if err := src.ReadRaw(i, raw); err != nil {
+			return 0, err
+		}
+		body, err = unpadRecord(body[:0], raw, src.Caps())
+		if err != nil {
+			return 0, err
+		}
+		if err := cw.WriteEncoded(body); err != nil {
+			return 0, err
+		}
+	}
+	return cw.Count(), cw.Close()
+}

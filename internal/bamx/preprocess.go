@@ -1,0 +1,129 @@
+package bamx
+
+import (
+	"encoding/binary"
+	"io"
+
+	"parseq/internal/bam"
+	"parseq/internal/sam"
+)
+
+// PreprocessBAM is the sequential preprocessing phase of the paper's BAM
+// format converter: it reads a BAM stream twice (the format offers no
+// record delimiters, so this pass cannot be parallelised — exactly the
+// paper's Section III-B observation), writing a fixed-stride BAMX file
+// and returning the BAIX index.
+//
+// Pass one measures the maximum field sizes; pass two pads every record
+// to those capacities. The BAM bodies are relocated without decoding —
+// field lengths live in the record prefix.
+func PreprocessBAM(rs io.ReadSeeker, w io.Writer) (*Index, error) {
+	start, err := rs.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: measure capacities.
+	br, err := bam.NewReader(rs)
+	if err != nil {
+		return nil, err
+	}
+	var caps Caps
+	caps.QName = 2 // room for the "*" placeholder name
+	caps.Seq = 1
+	for {
+		body, err := br.ReadBody()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		caps.Observe(body)
+	}
+
+	// Pass 2: relocate records into the padded layout.
+	if _, err := rs.Seek(start, io.SeekStart); err != nil {
+		return nil, err
+	}
+	br, err = bam.NewReader(rs)
+	if err != nil {
+		return nil, err
+	}
+	bw, err := NewWriter(w, br.Header(), caps)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	for {
+		body, err := br.ReadBody()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		refID := int32(binary.LittleEndian.Uint32(body[0:]))
+		pos := int32(binary.LittleEndian.Uint32(body[4:])) + 1
+		idx := bw.Count()
+		if err := bw.WriteEncoded(body); err != nil {
+			return nil, err
+		}
+		if refID >= 0 {
+			entries = append(entries, Entry{RefID: refID, Pos: pos, Index: idx})
+		}
+	}
+	return NewIndex(entries), nil
+}
+
+// BuildFromRecords writes a BAMX file plus BAIX index for in-memory
+// records — the building block of the preprocessing-optimized SAM
+// converter, where each rank turns its text partition into one BAMX file.
+// The two passes of PreprocessBAM become one measurement sweep over the
+// encoded bodies and one padded write.
+func BuildFromRecords(w io.Writer, h *sam.Header, recs []sam.Record) (*Index, error) {
+	caps := Caps{QName: 2, Seq: 1}
+	bodies := make([][]byte, 0, len(recs))
+	for i := range recs {
+		body, err := bam.EncodeRecord(nil, &recs[i], h)
+		if err != nil {
+			return nil, err
+		}
+		body = body[4:] // drop the block_size prefix
+		caps.Observe(body)
+		bodies = append(bodies, body)
+	}
+	bw, err := NewWriter(w, h, caps)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	for i, body := range bodies {
+		refID := h.RefID(recs[i].RName)
+		if refID >= 0 {
+			entries = append(entries, Entry{RefID: int32(refID), Pos: recs[i].Pos, Index: bw.Count()})
+		}
+		if err := bw.WriteEncoded(body); err != nil {
+			return nil, err
+		}
+	}
+	return NewIndex(entries), nil
+}
+
+// BuildIndex scans an existing BAMX file and reconstructs its BAIX index,
+// for when the sidecar index is missing.
+func BuildIndex(f *File) (*Index, error) {
+	var entries []Entry
+	buf := make([]byte, f.Stride())
+	for i := int64(0); i < f.NumRecords(); i++ {
+		if err := f.ReadRaw(i, buf); err != nil {
+			return nil, err
+		}
+		refID := int32(binary.LittleEndian.Uint32(buf[0:]))
+		pos := int32(binary.LittleEndian.Uint32(buf[4:])) + 1
+		if refID >= 0 {
+			entries = append(entries, Entry{RefID: refID, Pos: pos, Index: i})
+		}
+	}
+	return NewIndex(entries), nil
+}

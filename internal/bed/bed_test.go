@@ -1,0 +1,252 @@
+package bed
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parseq/internal/formats"
+	"parseq/internal/simdata"
+)
+
+func TestParseFeature(t *testing.T) {
+	f, err := ParseFeature("chr1\t100\t200\tread1\t37\t-\textra1\textra2")
+	if err != nil {
+		t.Fatalf("ParseFeature: %v", err)
+	}
+	want := Feature{
+		Chrom: "chr1", Start: 100, End: 200, Name: "read1",
+		Score: 37, Strand: '-', Extra: []string{"extra1", "extra2"},
+	}
+	if f.Chrom != want.Chrom || f.Start != want.Start || f.End != want.End ||
+		f.Name != want.Name || f.Score != want.Score || f.Strand != want.Strand {
+		t.Errorf("f = %+v", f)
+	}
+	if len(f.Extra) != 2 {
+		t.Errorf("Extra = %v", f.Extra)
+	}
+	if f.Len() != 100 {
+		t.Errorf("Len = %d", f.Len())
+	}
+}
+
+func TestParseFeatureMinimal(t *testing.T) {
+	f, err := ParseFeature("chrX\t0\t5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "" || f.Score != 0 || f.Strand != 0 {
+		t.Errorf("minimal feature carries optionals: %+v", f)
+	}
+	// Dot placeholders.
+	f, err = ParseFeature("chrX\t0\t5\tname\t.\t.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Score != 0 || f.Strand != 0 {
+		t.Errorf("dot placeholders parsed as values: %+v", f)
+	}
+}
+
+func TestParseFeatureErrors(t *testing.T) {
+	for _, line := range []string{
+		"chr1\t100",
+		"chr1\tx\t200",
+		"chr1\t100\ty",
+		"chr1\t-1\t5",
+		"chr1\t10\t5",
+		"chr1\t1\t5\tn\tbad",
+		"chr1\t1\t5\tn\t0\t*",
+	} {
+		if _, err := ParseFeature(line); !errors.Is(err, ErrMalformed) {
+			t.Errorf("ParseFeature(%q) err = %v", line, err)
+		}
+	}
+}
+
+func TestFeatureStringRoundTrip(t *testing.T) {
+	cases := []Feature{
+		{Chrom: "chr1", Start: 0, End: 10},
+		{Chrom: "chr1", Start: 5, End: 9, Name: "r1"},
+		{Chrom: "chr2", Start: 5, End: 9, Name: "r1", Score: 30, Strand: '+'},
+		{Chrom: "chr2", Start: 5, End: 9, Name: "r1", Score: 0, Strand: '-'},
+	}
+	for _, f := range cases {
+		got, err := ParseFeature(f.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", f.String(), err)
+		}
+		if got.Chrom != f.Chrom || got.Start != f.Start || got.End != f.End ||
+			got.Name != f.Name || got.Score != f.Score || got.Strand != f.Strand {
+			t.Errorf("round trip %q → %+v", f.String(), got)
+		}
+	}
+}
+
+func TestReaderSkipsDecorations(t *testing.T) {
+	in := "browser position chr1\ntrack name=x\n# comment\n\nchr1\t1\t2\n"
+	r := NewReader(strings.NewReader(in))
+	fs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Start != 1 {
+		t.Errorf("features = %+v", fs)
+	}
+}
+
+func TestReaderReportsLineNumbers(t *testing.T) {
+	r := NewReader(strings.NewReader("chr1\t1\t2\nbogus line here\n"))
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Read()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v", err)
+	}
+	// Sticky error.
+	if _, err2 := r.Read(); err2 == nil {
+		t.Error("error not sticky")
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	fs := []Feature{
+		{Chrom: "chr1", Start: 0, End: 10, Name: "a", Score: 1, Strand: '+'},
+		{Chrom: "chr2", Start: 100, End: 110, Name: "b", Score: 2, Strand: '-'},
+	}
+	for _, f := range fs {
+		if err := w.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Name != "b" {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestConverterBEDOutputReadsBack(t *testing.T) {
+	d := simdata.Generate(simdata.DefaultConfig(300))
+	enc, err := formats.New("bed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	mapped := 0
+	for i := range d.Records {
+		before := len(out)
+		out, err = enc.Encode(out, &d.Records[i], d.Header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) > before {
+			mapped++
+		}
+	}
+	fs, err := NewReader(bytes.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("converter BED unreadable: %v", err)
+	}
+	if len(fs) != mapped {
+		t.Errorf("read %d features, converter emitted %d", len(fs), mapped)
+	}
+	for i, f := range fs {
+		if f.Strand != '+' && f.Strand != '-' {
+			t.Fatalf("feature %d strand %q", i, f.Strand)
+		}
+		if f.Len() <= 0 {
+			t.Fatalf("feature %d empty interval", i)
+		}
+	}
+}
+
+func TestConverterBEDGraphOutputReadsBack(t *testing.T) {
+	d := simdata.Generate(simdata.DefaultConfig(300))
+	enc, err := formats.New("bedgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := enc.Header(d.Header)
+	var mass float64
+	for i := range d.Records {
+		before := len(out)
+		out, err = enc.Encode(out, &d.Records[i], d.Header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) > before && d.Records[i].RName == "chr1" {
+			mass += float64(d.Records[i].End() - d.Records[i].Pos + 1)
+		}
+	}
+	gs, err := ReadGraph(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("converter BEDGRAPH unreadable: %v", err)
+	}
+	if got := TotalCoverage(gs, "chr1"); got != mass {
+		t.Errorf("chr1 coverage mass = %g, want %g", got, mass)
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	for _, in := range []string{
+		"chr1\t1\t2\n",    // 3 columns
+		"chr1\tx\t2\t1\n", // bad start
+		"chr1\t1\ty\t1\n", // bad end
+		"chr1\t1\t2\tz\n", // bad value
+		"chr1\t5\t2\t1\n", // inverted
+	} {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadGraph(%q) accepted", in)
+		}
+	}
+}
+
+func TestFilterOverlapping(t *testing.T) {
+	fs := []Feature{
+		{Chrom: "chr1", Start: 0, End: 10},
+		{Chrom: "chr1", Start: 10, End: 20},
+		{Chrom: "chr2", Start: 0, End: 100},
+	}
+	got := FilterOverlapping(fs, "chr1", 5, 15)
+	if len(got) != 2 {
+		t.Fatalf("overlapping = %+v", got)
+	}
+	if got := FilterOverlapping(fs, "chr1", 20, 30); len(got) != 0 {
+		t.Errorf("non-overlap query = %+v", got)
+	}
+}
+
+// Property: any valid feature round-trips through text.
+func TestFeatureRoundTripProperty(t *testing.T) {
+	f := func(start uint16, length uint8, score int8, strandSeed uint8) bool {
+		strands := []byte{0, '+', '-'}
+		feat := Feature{
+			Chrom:  "chrP",
+			Start:  int(start),
+			End:    int(start) + int(length),
+			Name:   "n",
+			Score:  float64(score),
+			Strand: strands[int(strandSeed)%3],
+		}
+		got, err := ParseFeature(feat.String())
+		if err != nil {
+			return false
+		}
+		return got.Chrom == feat.Chrom && got.Start == feat.Start &&
+			got.End == feat.End && got.Score == feat.Score && got.Strand == feat.Strand
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

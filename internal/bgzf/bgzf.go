@@ -1,0 +1,387 @@
+// Package bgzf implements the BGZF blocked-gzip format BAM files are
+// stored in: a series of independent RFC-1952 gzip members, each carrying
+// a "BC" extra subfield recording the compressed block size so readers can
+// skip between blocks without inflating them. Independent blocks are what
+// make BAM indexable — a (block offset, intra-block offset) pair, the
+// virtual file offset, addresses any record.
+package bgzf
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	// MaxBlockSize is the maximum size of one compressed BGZF block,
+	// including the gzip wrapping, fixed by the specification.
+	MaxBlockSize = 0x10000
+	// MaxPayload is the maximum number of uncompressed bytes stored per
+	// block. It is chosen (65280 = 2^16-256) so a worst-case incompressible
+	// payload still fits MaxBlockSize after wrapping.
+	MaxPayload = 0xff00
+
+	headerSize = 18 // fixed gzip header with a single 6-byte BC extra field
+	footerSize = 8  // CRC32 + ISIZE
+)
+
+// eofMarker is the specification's canonical empty terminal block. Its
+// presence distinguishes a complete BGZF file from a truncated one.
+var eofMarker = []byte{
+	0x1f, 0x8b, 0x08, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0xff,
+	0x06, 0x00, 0x42, 0x43, 0x02, 0x00, 0x1b, 0x00, 0x03, 0x00,
+	0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+}
+
+// Errors the codec reports.
+var (
+	ErrNotBGZF     = errors.New("bgzf: not a BGZF block")
+	ErrCorrupt     = errors.New("bgzf: corrupt block")
+	ErrNoEOFMarker = errors.New("bgzf: missing EOF marker (file truncated?)")
+)
+
+// VOffset is a BGZF virtual file offset: the compressed offset of a block
+// start in the upper 48 bits and the uncompressed offset within that
+// block in the lower 16 bits.
+type VOffset uint64
+
+// MakeVOffset packs a block start offset and an intra-block offset.
+func MakeVOffset(coffset int64, uoffset int) VOffset {
+	return VOffset(uint64(coffset)<<16 | uint64(uoffset)&0xffff)
+}
+
+// Block returns the compressed file offset of the containing block.
+func (v VOffset) Block() int64 { return int64(v >> 16) }
+
+// Intra returns the uncompressed offset within the block.
+func (v VOffset) Intra() int { return int(v & 0xffff) }
+
+// String renders the offset as "block:intra".
+func (v VOffset) String() string { return fmt.Sprintf("%d:%d", v.Block(), v.Intra()) }
+
+// Writer compresses a stream into BGZF blocks. Close writes the EOF
+// marker block; forgetting it produces a file readers reject.
+type Writer struct {
+	w       io.Writer
+	level   int
+	buf     []byte // pending uncompressed bytes, ≤ blockPayload
+	payload int    // configured uncompressed bytes per block
+	scratch bytes.Buffer
+	offset  int64 // compressed bytes written so far
+	err     error
+}
+
+// NewWriter returns a BGZF writer using the default compression level and
+// the maximum per-block payload.
+func NewWriter(w io.Writer) *Writer {
+	return NewWriterLevel(w, flate.DefaultCompression, MaxPayload)
+}
+
+// NewWriterLevel returns a BGZF writer with an explicit flate level and
+// per-block uncompressed payload size (clamped to [1, MaxPayload]).
+// Smaller payloads trade compression ratio for finer random-access
+// granularity — the knob the block-size ablation benchmark sweeps.
+func NewWriterLevel(w io.Writer, level, payload int) *Writer {
+	if payload <= 0 || payload > MaxPayload {
+		payload = MaxPayload
+	}
+	if level < flate.HuffmanOnly || level > flate.BestCompression {
+		level = flate.DefaultCompression
+	}
+	return &Writer{w: w, level: level, payload: payload, buf: make([]byte, 0, payload)}
+}
+
+// Offset returns the virtual offset the next written byte will have.
+func (w *Writer) Offset() VOffset {
+	return MakeVOffset(w.offset, len(w.buf))
+}
+
+// Write buffers p, flushing completed blocks as the payload size is
+// reached.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n := len(p)
+	for len(p) > 0 {
+		space := w.payload - len(w.buf)
+		if space == 0 {
+			if err := w.Flush(); err != nil {
+				return n - len(p), err
+			}
+			space = w.payload
+		}
+		if space > len(p) {
+			space = len(p)
+		}
+		w.buf = append(w.buf, p[:space]...)
+		p = p[space:]
+	}
+	return n, nil
+}
+
+// Flush writes any buffered bytes as one block. It is a no-op when the
+// buffer is empty, so files never contain spurious empty data blocks.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	block, err := w.compressBlock(w.buf)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(block); err != nil {
+		w.err = err
+		return err
+	}
+	w.offset += int64(len(block))
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes pending data and writes the EOF marker.
+func (w *Writer) Close() error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(eofMarker); err != nil {
+		w.err = err
+		return err
+	}
+	w.offset += int64(len(eofMarker))
+	w.err = errors.New("bgzf: writer closed")
+	return nil
+}
+
+// compressBlock wraps one payload in a complete BGZF member.
+func (w *Writer) compressBlock(payload []byte) ([]byte, error) {
+	w.scratch.Reset()
+	fw, err := flate.NewWriter(&w.scratch, w.level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(payload); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	compressed := w.scratch.Bytes()
+	bsize := headerSize + len(compressed) + footerSize
+	if bsize > MaxBlockSize {
+		return nil, fmt.Errorf("bgzf: block of %d bytes exceeds format limit", bsize)
+	}
+	block := make([]byte, bsize)
+	block[0], block[1], block[2], block[3] = 0x1f, 0x8b, 0x08, 0x04 // magic, deflate, FEXTRA
+	// MTIME (4), XFL left zero.
+	block[9] = 0xff // OS unknown
+	binary.LittleEndian.PutUint16(block[10:], 6)
+	block[12], block[13] = 'B', 'C'
+	binary.LittleEndian.PutUint16(block[14:], 2)
+	binary.LittleEndian.PutUint16(block[16:], uint16(bsize-1))
+	copy(block[headerSize:], compressed)
+	binary.LittleEndian.PutUint32(block[headerSize+len(compressed):], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(block[headerSize+len(compressed)+4:], uint32(len(payload)))
+	return block, nil
+}
+
+// Reader decompresses a BGZF stream block by block. When the underlying
+// reader is an io.ReadSeeker, Seek to a virtual offset is supported.
+type Reader struct {
+	r          io.Reader
+	rs         io.ReadSeeker // non-nil when seeking is possible
+	block      []byte        // current uncompressed block
+	pos        int           // read position within block
+	blockStart int64         // compressed offset of current block
+	nextStart  int64         // compressed offset of next block
+	sawEOF     bool
+	err        error
+	hdr        [headerSize]byte
+	raw        []byte // reusable compressed-block buffer
+}
+
+// NewReader wraps r. When r is an io.ReadSeeker the returned reader
+// supports Seek.
+func NewReader(r io.Reader) *Reader {
+	br := &Reader{r: r}
+	if rs, ok := r.(io.ReadSeeker); ok {
+		br.rs = rs
+	}
+	return br
+}
+
+// Offset returns the virtual offset of the next byte Read will return.
+func (r *Reader) Offset() VOffset { return MakeVOffset(r.blockStart, r.pos) }
+
+// readBlock loads the next block into r.block. It returns io.EOF at the
+// end of the stream (after the EOF marker).
+func (r *Reader) readBlock() error {
+	r.blockStart = r.nextStart
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if err == io.EOF {
+			if !r.sawEOF {
+				return ErrNoEOFMarker
+			}
+			return io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return ErrCorrupt
+		}
+		return err
+	}
+	if r.hdr[0] != 0x1f || r.hdr[1] != 0x8b || r.hdr[2] != 0x08 || r.hdr[3]&0x04 == 0 {
+		return ErrNotBGZF
+	}
+	xlen := int(binary.LittleEndian.Uint16(r.hdr[10:]))
+	extra := make([]byte, xlen)
+	copy(extra, r.hdr[12:])
+	if xlen > headerSize-12 {
+		if _, err := io.ReadFull(r.r, extra[headerSize-12:]); err != nil {
+			return ErrCorrupt
+		}
+	} else {
+		extra = extra[:xlen]
+	}
+	bsize := -1
+	for i := 0; i+4 <= len(extra); {
+		si1, si2 := extra[i], extra[i+1]
+		slen := int(binary.LittleEndian.Uint16(extra[i+2:]))
+		if si1 == 'B' && si2 == 'C' && slen == 2 && i+6 <= len(extra) {
+			bsize = int(binary.LittleEndian.Uint16(extra[i+4:])) + 1
+			break
+		}
+		i += 4 + slen
+	}
+	if bsize < 0 {
+		return ErrNotBGZF
+	}
+	rawLen := bsize - 12 - xlen // compressed data + footer
+	if rawLen < footerSize {
+		return ErrCorrupt
+	}
+	if cap(r.raw) < rawLen {
+		r.raw = make([]byte, rawLen)
+	}
+	raw := r.raw[:rawLen]
+	already := 0
+	if 12+xlen < headerSize {
+		// Part of the data was consumed into the fixed-size header buffer.
+		already = headerSize - 12 - xlen
+		copy(raw, r.hdr[12+xlen:])
+	}
+	if _, err := io.ReadFull(r.r, raw[already:]); err != nil {
+		return ErrCorrupt
+	}
+	compressed, footer := raw[:rawLen-footerSize], raw[rawLen-footerSize:]
+	isize := binary.LittleEndian.Uint32(footer[4:])
+	wantCRC := binary.LittleEndian.Uint32(footer)
+
+	fr := flate.NewReader(bytes.NewReader(compressed))
+	if cap(r.block) < int(isize) {
+		r.block = make([]byte, isize)
+	}
+	r.block = r.block[:isize]
+	if _, err := io.ReadFull(fr, r.block); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	// The member must contain no more than ISIZE bytes.
+	var one [1]byte
+	if n, _ := fr.Read(one[:]); n != 0 {
+		return fmt.Errorf("%w: block longer than ISIZE", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(r.block) != wantCRC {
+		return fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	r.pos = 0
+	r.nextStart = r.blockStart + int64(bsize)
+	r.sawEOF = isize == 0
+	if isize == 0 {
+		// Empty block: could be the EOF marker; keep reading — a following
+		// block resets sawEOF, trailing EOF terminates cleanly.
+		return r.readBlock()
+	}
+	return nil
+}
+
+// Read implements io.Reader over the decompressed stream.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	total := 0
+	for len(p) > 0 {
+		if r.pos == len(r.block) {
+			if err := r.readBlock(); err != nil {
+				r.err = err
+				if total > 0 && err == io.EOF {
+					return total, nil
+				}
+				return total, err
+			}
+		}
+		n := copy(p, r.block[r.pos:])
+		r.pos += n
+		p = p[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// Seek positions the reader at a virtual offset. It requires the
+// underlying reader to be an io.ReadSeeker.
+func (r *Reader) Seek(v VOffset) error {
+	if r.rs == nil {
+		return errors.New("bgzf: underlying reader is not seekable")
+	}
+	if _, err := r.rs.Seek(v.Block(), io.SeekStart); err != nil {
+		return err
+	}
+	r.err = nil
+	r.block = r.block[:0]
+	r.pos = 0
+	r.nextStart = v.Block()
+	r.sawEOF = false
+	if err := r.readBlock(); err != nil {
+		r.err = err
+		return err
+	}
+	if v.Intra() > len(r.block) {
+		return fmt.Errorf("%w: intra-block offset %d beyond block of %d bytes",
+			ErrCorrupt, v.Intra(), len(r.block))
+	}
+	r.pos = v.Intra()
+	return nil
+}
+
+// HasEOFMarker checks (without disturbing the stream position) whether a
+// ReadSeeker ends with the canonical BGZF EOF block.
+func HasEOFMarker(rs io.ReadSeeker) (bool, error) {
+	cur, err := rs.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return false, err
+	}
+	defer rs.Seek(cur, io.SeekStart)
+	end, err := rs.Seek(0, io.SeekEnd)
+	if err != nil {
+		return false, err
+	}
+	if end < int64(len(eofMarker)) {
+		return false, nil
+	}
+	if _, err := rs.Seek(end-int64(len(eofMarker)), io.SeekStart); err != nil {
+		return false, err
+	}
+	tail := make([]byte, len(eofMarker))
+	if _, err := io.ReadFull(rs, tail); err != nil {
+		return false, err
+	}
+	return bytes.Equal(tail, eofMarker), nil
+}

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func converterWorkload() Workload {
+	return Workload{
+		Name:       "sam-convert",
+		CPUSeconds: 2800,
+		ReadBytes:  100 << 30,
+		WriteBytes: 60 << 30,
+	}
+}
+
+func computeWorkload() Workload {
+	return Workload{
+		Name:       "nlmeans",
+		CPUSeconds: 40000,
+		ReadBytes:  128 << 20,
+		WriteBytes: 128 << 20,
+		Barriers:   1,
+	}
+}
+
+func TestTimeValidation(t *testing.T) {
+	m := Paper()
+	if _, err := m.Time(converterWorkload(), 0); err == nil {
+		t.Error("0 cores accepted")
+	}
+	if _, err := m.Time(converterWorkload(), 512); err == nil {
+		t.Error("cores beyond MaxCores accepted")
+	}
+	if _, err := m.Time(converterWorkload(), 256); err != nil {
+		t.Errorf("256 cores rejected: %v", err)
+	}
+}
+
+func TestTimeMonotoneDecreasing(t *testing.T) {
+	m := Paper()
+	for _, w := range []Workload{converterWorkload(), computeWorkload()} {
+		prev := math.Inf(1)
+		for _, cores := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+			tm, err := m.Time(w, cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tm > prev {
+				t.Errorf("%s: time grew at %d cores: %g > %g", w.Name, cores, tm, prev)
+			}
+			prev = tm
+		}
+	}
+}
+
+func TestComputeBoundScalesNearLinearly(t *testing.T) {
+	m := Paper()
+	w := computeWorkload()
+	s, err := m.Speedup(w, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 100 || s > 128.5 {
+		t.Errorf("compute-bound speedup at 128 cores = %g, want near-linear", s)
+	}
+}
+
+func TestIOBoundFlattensWithinNode(t *testing.T) {
+	m := Paper()
+	w := Workload{
+		Name:       "io-bound",
+		CPUSeconds: 10,
+		ReadBytes:  100 << 30, // 1000+ seconds of I/O on one node
+	}
+	s8, err := m.Speedup(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within one node the disk is shared: near-zero speedup for pure I/O.
+	if s8 > 2 {
+		t.Errorf("I/O-bound speedup within one node = %g, want < 2", s8)
+	}
+	// Across nodes the aggregate disk bandwidth grows.
+	s128, err := m.Speedup(w, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s128 < 8 {
+		t.Errorf("I/O-bound speedup at 16 nodes = %g, want ≥ 8 (disk scales with nodes)", s128)
+	}
+}
+
+func TestConverterShapeMatchesPaper(t *testing.T) {
+	// The paper's conversions are parse-dominated with a visible I/O
+	// term: good but sublinear scaling at 128 cores.
+	m := Paper()
+	s, err := m.Speedup(converterWorkload(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 20 || s > 127 {
+		t.Errorf("converter speedup at 128 = %g, want sublinear but substantial", s)
+	}
+}
+
+func TestLessOutputScalesBetter(t *testing.T) {
+	// Figure 6's explanation: BEDGRAPH writes the least, so it scales best.
+	m := Paper()
+	bed := converterWorkload()
+	bedgraph := bed
+	bedgraph.WriteBytes = bed.WriteBytes / 4
+	sBed, _ := m.Speedup(bed, 128)
+	sBg, _ := m.Speedup(bedgraph, 128)
+	if sBg <= sBed {
+		t.Errorf("BEDGRAPH-like speedup %g not better than BED-like %g", sBg, sBed)
+	}
+}
+
+func TestSequentialPhaseCapsSpeedup(t *testing.T) {
+	m := Paper()
+	w := converterWorkload()
+	w.SeqSeconds = w.CPUSeconds // half the work is sequential
+	s, err := m.Speedup(w, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Amdahl bound: T(1)/SeqSeconds is the ceiling no core count can beat.
+	t1, err := m.Time(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit := t1 / w.SeqSeconds; s > limit {
+		t.Errorf("Amdahl violation: speedup %g exceeds limit %g", s, limit)
+	}
+	if s > 3 {
+		t.Errorf("speedup %g with 50%% sequential work, want < 3", s)
+	}
+}
+
+func TestBarriersCostGrowsWithCores(t *testing.T) {
+	m := Paper()
+	w := computeWorkload()
+	w.Barriers = 1000000 // exaggerate to make the term visible
+	t64, _ := m.Time(w, 64)
+	w2 := w
+	w2.Barriers = 2000000
+	t64b, _ := m.Time(w2, 64)
+	if t64b <= t64 {
+		t.Error("extra barriers did not cost time")
+	}
+	// Two-pass FDR (2 barriers) must model slower than fused (1 barrier).
+	fused := computeWorkload()
+	fused.Barriers = 1
+	twoPass := fused
+	twoPass.Barriers = 2
+	tf, _ := m.Time(fused, 256)
+	tt, _ := m.Time(twoPass, 256)
+	if tt <= tf {
+		t.Error("two-pass not slower than fused at 256 cores")
+	}
+}
+
+func TestScale(t *testing.T) {
+	w := converterWorkload()
+	s := w.Scale(2)
+	if s.CPUSeconds != 2*w.CPUSeconds || s.ReadBytes != 2*w.ReadBytes {
+		t.Errorf("Scale(2) = %+v", s)
+	}
+	if s.Barriers != w.Barriers {
+		t.Error("Scale changed barrier count")
+	}
+}
+
+// Property: speedup never exceeds the core count plus a small epsilon
+// (the model has no superlinear mechanisms).
+func TestSpeedupBounded(t *testing.T) {
+	m := Paper()
+	f := func(cpu, readMB uint16, cores uint8) bool {
+		c := int(cores)%255 + 1
+		w := Workload{
+			CPUSeconds: float64(cpu%10000) + 1,
+			ReadBytes:  int64(readMB) << 20,
+		}
+		s, err := m.Speedup(w, c)
+		if err != nil {
+			return false
+		}
+		return s <= float64(c)+1e-9 && s >= 0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrateCPU(t *testing.T) {
+	m := Paper()
+	w := Workload{ReadBytes: 1 << 30, WriteBytes: 1 << 30}
+	// 2 GB over a 100 MB/s disk ≈ 21.5 s of I/O; measured 100 s total.
+	got := m.CalibrateCPU(w, 100)
+	io := m.IOSeconds(w, 1)
+	want := 100 - m.StartupSec - io
+	if math.Abs(got.CPUSeconds-want) > 1e-9 {
+		t.Errorf("CalibrateCPU = %g, want %g", got.CPUSeconds, want)
+	}
+	// Fully I/O-bound measurement floors the compute share.
+	got = m.CalibrateCPU(w, io*1.01)
+	if got.CPUSeconds < 0.04*io {
+		t.Errorf("calibrated CPU %g below floor", got.CPUSeconds)
+	}
+	// Modelled single-core time reproduces the measurement.
+	tm, err := m.Time(m.CalibrateCPU(w, 100), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm-100) > 1e-6 {
+		t.Errorf("calibrated model time = %g, want 100", tm)
+	}
+}
+
+func TestSpeedupSeries(t *testing.T) {
+	m := Paper()
+	series, err := m.SpeedupSeries(computeWorkload(), []int{1, 8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("len = %d", len(series))
+	}
+	if math.Abs(series[0]-1) > 1e-12 {
+		t.Errorf("speedup(1) = %g", series[0])
+	}
+	if series[1] <= series[0] || series[2] <= series[1] {
+		t.Errorf("series not increasing: %v", series)
+	}
+	if _, err := m.SpeedupSeries(computeWorkload(), []int{1, 0}); err == nil {
+		t.Error("invalid core count accepted")
+	}
+}

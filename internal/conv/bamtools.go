@@ -1,0 +1,75 @@
+package conv
+
+import (
+	"io"
+
+	"parseq/internal/bam"
+	"parseq/internal/sam"
+)
+
+// bamToolsReader reproduces the pipeline structure the paper's BAM format
+// converter inherits from BamTools: the third-party library materialises
+// its own per-alignment memory object, and an adaptation step copies that
+// object into the converter's alignment object before the user program
+// can run. The paper measures this double-materialisation as the ~30%
+// sequential deficit against Picard in Table I; keeping the shim makes
+// our Table I reproduce the same effect rather than accidentally fixing
+// it.
+type bamToolsReader struct {
+	r       *bam.Reader
+	scratch sam.Record // the "BamTools memory object"
+}
+
+func newBAMToolsReader(rs io.Reader) (*bamToolsReader, error) {
+	r, err := bam.NewReader(rs)
+	if err != nil {
+		return nil, err
+	}
+	return &bamToolsReader{r: r}, nil
+}
+
+func (b *bamToolsReader) Header() *sam.Header { return b.r.Header() }
+
+// Next decodes the next alignment into the library-side object, then
+// adapts it into rec. It reports false at end of stream.
+func (b *bamToolsReader) Next(rec *sam.Record) (bool, error) {
+	if err := b.r.ReadInto(&b.scratch); err != nil {
+		if err == io.EOF {
+			return false, nil
+		}
+		return false, err
+	}
+	adaptAlignment(rec, &b.scratch)
+	return true, nil
+}
+
+// adaptAlignment deep-copies the library object into the converter's
+// alignment object, field by field, as the BamTools-to-runtime adaptation
+// the paper describes.
+func adaptAlignment(dst, src *sam.Record) {
+	dst.QName = cloneString(src.QName)
+	dst.Flag = src.Flag
+	dst.RName = cloneString(src.RName)
+	dst.Pos = src.Pos
+	dst.MapQ = src.MapQ
+	dst.Cigar = append(dst.Cigar[:0], src.Cigar...)
+	dst.RNext = cloneString(src.RNext)
+	dst.PNext = src.PNext
+	dst.TLen = src.TLen
+	dst.Seq = cloneString(src.Seq)
+	dst.Qual = cloneString(src.Qual)
+	dst.Tags = dst.Tags[:0]
+	for _, t := range src.Tags {
+		dst.Tags = append(dst.Tags, sam.Tag{
+			Name:  t.Name,
+			Type:  t.Type,
+			Value: cloneString(t.Value),
+		})
+	}
+}
+
+// cloneString forces a copy, defeating Go's string sharing the way a
+// cross-library object adaptation in C++ would.
+func cloneString(s string) string {
+	return string(append([]byte(nil), s...))
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// registry maps experiment IDs to their drivers.
+var registry = map[string]func(Scale) (*Report, error){
+	"table1":    Table1,
+	"fig6":      Fig6,
+	"fig7":      Fig7,
+	"fig8":      Fig8,
+	"fig9":      Fig9,
+	"fig10":     Fig10,
+	"fig11":     Fig11,
+	"fig12":     Fig12,
+	"ablations": Ablations,
+}
+
+// order fixes the presentation order of All.
+var order = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations"}
+
+// IDs lists the available experiment identifiers.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, sc Scale) (*Report, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return f(sc)
+}
+
+// All runs every experiment in paper order.
+func All(sc Scale) ([]*Report, error) {
+	reports := make([]*Report, 0, len(order))
+	for _, id := range order {
+		r, err := registry[id](sc)
+		if err != nil {
+			return reports, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
+// PrintAll runs and prints every experiment.
+func PrintAll(w io.Writer, sc Scale) error {
+	reports, err := All(sc)
+	for _, r := range reports {
+		if perr := r.Print(w); perr != nil {
+			return perr
+		}
+	}
+	return err
+}

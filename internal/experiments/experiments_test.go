@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick(t *testing.T) Scale {
+	t.Helper()
+	sc := QuickScale()
+	sc.TmpDir = t.TempDir()
+	sc.KeepTmp = true // the test's TempDir handles cleanup
+	return sc
+}
+
+// parseSpeedup reads "12.34x" cells.
+func parseSpeedup(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad speedup cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestIDsAndRun(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 9 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if _, err := Run("nope", quick(t)); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestReportPrint(t *testing.T) {
+	r := &Report{
+		ID: "t", Title: "test", Columns: []string{"A", "Blong"},
+		Notes: []string{"a note"},
+	}
+	r.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== T: test ==", "A  Blong", "1  2", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1(quick(t))
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	// Each row: conversion, system, measured, paper, ratio.
+	for _, row := range r.Rows {
+		if len(row) != 5 {
+			t.Fatalf("row = %v", row)
+		}
+	}
+	if r.Rows[0][0] != "SAM→FASTQ" || r.Rows[3][0] != "BAM→SAM" {
+		t.Errorf("unexpected conversions: %v / %v", r.Rows[0][0], r.Rows[3][0])
+	}
+}
+
+func TestFig6SpeedupShape(t *testing.T) {
+	r, err := Fig6(quick(t))
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	if len(r.Rows) != 8 { // 1..128 cores
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Speedups increase monotonically per column and start at 1x.
+	for col := 1; col <= 3; col++ {
+		prev := 0.0
+		for i, row := range r.Rows {
+			s := parseSpeedup(t, row[col])
+			if i == 0 && (s < 0.99 || s > 1.01) {
+				t.Errorf("col %d speedup(1) = %g", col, s)
+			}
+			if s < prev {
+				t.Errorf("col %d speedup not monotone at row %d: %g < %g", col, i, s, prev)
+			}
+			prev = s
+		}
+	}
+	// BEDGRAPH (col 2) scales at least as well as BED (col 1) at 128 cores.
+	last := r.Rows[len(r.Rows)-1]
+	if parseSpeedup(t, last[2]) < parseSpeedup(t, last[1])*0.95 {
+		t.Errorf("BEDGRAPH %s not ≥ BED %s at 128 cores", last[2], last[1])
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	r, err := Fig7(quick(t))
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	if len(r.Rows) != 8 || len(r.Columns) != 4 {
+		t.Fatalf("shape = %dx%d", len(r.Rows), len(r.Columns))
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if s := parseSpeedup(t, last[1]); s < 4 {
+		t.Errorf("BAMX conversion speedup at 128 = %g, want substantial", s)
+	}
+}
+
+func TestFig8Proportionality(t *testing.T) {
+	r, err := Fig8(quick(t))
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	// Normalised times: 20% subset should cost well under half the 100%
+	// run at every core count, and the 100% column is 1.00 by definition.
+	for _, row := range r.Rows {
+		t20, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t100, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t100 != 1.00 {
+			t.Errorf("100%% column = %g", t100)
+		}
+		if t20 > 0.55 {
+			t.Errorf("cores=%s: 20%% subset cost %g of full, want ≲ 0.5", row[0], t20)
+		}
+	}
+}
+
+func TestFig9ReportsImprovement(t *testing.T) {
+	r, err := Fig9(quick(t))
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	if len(r.Columns) != 7 {
+		t.Fatalf("columns = %v", r.Columns)
+	}
+	// The preprocessed converter scales at least as well as the original
+	// at 128 cores (regular layout, binary input).
+	last := r.Rows[len(r.Rows)-1]
+	for col := 1; col <= 3; col++ {
+		orig := parseSpeedup(t, last[col])
+		pre := parseSpeedup(t, last[col+3])
+		if pre < orig*0.9 {
+			t.Errorf("column %s: preprocessed speedup %g below original %g",
+				r.Columns[col], pre, orig)
+		}
+	}
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "improvement") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("improvement notes missing")
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	r, err := Fig10(quick(t))
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	last := parseSpeedup(t, r.Rows[len(r.Rows)-1][1])
+	if last < 4 {
+		t.Errorf("preprocessing speedup at 128 = %g", last)
+	}
+}
+
+func TestFig11NearLinearAndImprovingWithR(t *testing.T) {
+	sc := quick(t)
+	sc.Bins = 2000 // keep the r=320 kernel quick
+	r, err := Fig11(sc)
+	if err != nil {
+		t.Fatalf("Fig11: %v", err)
+	}
+	last := r.Rows[len(r.Rows)-1]
+	s20 := parseSpeedup(t, last[1])
+	s320 := parseSpeedup(t, last[3])
+	if s320 < s20 {
+		t.Errorf("r=320 speedup %g below r=20 speedup %g", s320, s20)
+	}
+	if s320 < 64 {
+		t.Errorf("r=320 speedup at 128 cores = %g, want near-linear", s320)
+	}
+}
+
+func TestFig12FusedBeatsTwoPass(t *testing.T) {
+	sc := quick(t)
+	r, err := Fig12(sc)
+	if err != nil {
+		t.Fatalf("Fig12: %v", err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		fused := parseSpeedup(t, row[1])
+		twoPass := parseSpeedup(t, row[2])
+		if fused < twoPass {
+			t.Errorf("cores=%s: fused %g below two-pass %g", row[0], fused, twoPass)
+		}
+	}
+	// Near-linear at 256 cores, echoing the paper's 263.94x (modelled
+	// without the cache superlinearity).
+	last := parseSpeedup(t, r.Rows[len(r.Rows)-1][1])
+	if last < 128 {
+		t.Errorf("fused speedup at 256 = %g, want near-linear", last)
+	}
+}
+
+func TestAblationsReport(t *testing.T) {
+	sc := quick(t)
+	sc.Bins = 2000
+	r, err := Ablations(sc)
+	if err != nil {
+		t.Fatalf("Ablations: %v", err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if len(row) != 5 {
+			t.Fatalf("row = %v", row)
+		}
+	}
+}
+
+func TestPrintAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	sc := quick(t)
+	sc.Bins = 2000
+	var buf bytes.Buffer
+	if err := PrintAll(&buf, sc); err != nil {
+		t.Fatalf("PrintAll: %v", err)
+	}
+	for _, id := range order {
+		if !strings.Contains(buf.String(), strings.ToUpper(id)) {
+			t.Errorf("output missing %s", id)
+		}
+	}
+}

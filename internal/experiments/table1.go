@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"parseq/internal/conv"
+	"parseq/internal/picard"
+)
+
+// table1Reps is how many times each sequential conversion runs; the
+// minimum is reported, suppressing scheduler and page-cache noise.
+const table1Reps = 3
+
+// bestOf runs fn table1Reps times and returns the smallest duration.
+func bestOf(fn func() (time.Duration, error)) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < table1Reps; i++ {
+		d, err := fn()
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// Table1 reproduces the sequential comparison against Picard: SAM→FASTQ
+// and BAM→SAM with our converters (with and without preprocessing)
+// against the conventional record-object baseline. All runs are real
+// sequential executions on the scaled dataset (paper datasets: 37.54 GB
+// SAM / 7.72 GB BAM restricted to chr1).
+func Table1(sc Scale) (*Report, error) {
+	if err := sc.normalize(); err != nil {
+		return nil, err
+	}
+	defer sc.cleanup()
+	// The paper's Table I datasets are single-chromosome (chr1) extracts.
+	samPath, bamPath, err := sc.datasetPaths(1)
+	if err != nil {
+		return nil, err
+	}
+	outDir := sc.TmpDir
+
+	r := &Report{
+		ID:    "table1",
+		Title: "Sequential comparison against Picard (measured, scaled dataset)",
+		Columns: []string{"Conversion", "System", "Measured", "Paper(s)",
+			"vs baseline"},
+		Notes: []string{
+			fmt.Sprintf("dataset: %d chr1 reads (SAM %d bytes, BAM %d bytes); paper: 37.54 GB SAM / 7.72 GB BAM",
+				sc.Reads, fileSize(samPath), fileSize(bamPath)),
+			"'with preprocessing' times exclude the preprocessing pass, as in the paper (amortised across conversions)",
+		},
+	}
+
+	// --- SAM → FASTQ ---
+	noPre, err := bestOf(func() (time.Duration, error) {
+		res, err := conv.ConvertSAM(samPath, conv.Options{
+			Format: "fastq", Cores: 1, OutDir: outDir, OutPrefix: "t1_sam_nopre",
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.PartitionTime + res.Stats.ConvertTime, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pre, err := conv.PreprocessSAMParallel(samPath, outDir, "t1_pre", 1)
+	if err != nil {
+		return nil, err
+	}
+	withPre, err := bestOf(func() (time.Duration, error) {
+		res, err := conv.ConvertPreprocessed(pre.BAMXFiles, pre.BAIXFiles, conv.Options{
+			Format: "fastq", Cores: 1, OutDir: outDir, OutPrefix: "t1_sam_pre",
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.PartitionTime + res.Stats.ConvertTime, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base, err := bestOf(func() (time.Duration, error) {
+		st, err := picard.SamToFastq(samPath, filepath.Join(outDir, "t1_picard.fastq"))
+		if err != nil {
+			return 0, err
+		}
+		return st.Duration, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addTable1Rows(r, "SAM→FASTQ", noPre, withPre, base, 3214, 2804, 3121)
+
+	// --- BAM → SAM ---
+	noPreBAM, err := bestOf(func() (time.Duration, error) {
+		res, err := conv.ConvertBAMSequential(bamPath, conv.Options{
+			Format: "sam", OutDir: outDir, OutPrefix: "t1_bam_nopre",
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.ConvertTime, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bamxPath := filepath.Join(outDir, "t1.bamx")
+	baixPath := filepath.Join(outDir, "t1.baix")
+	if _, err := conv.PreprocessBAMFile(bamPath, bamxPath, baixPath); err != nil {
+		return nil, err
+	}
+	withPreBAM, err := bestOf(func() (time.Duration, error) {
+		res, err := conv.ConvertBAMX(bamxPath, baixPath, conv.Options{
+			Format: "sam", Cores: 1, OutDir: outDir, OutPrefix: "t1_bam_pre",
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.PartitionTime + res.Stats.ConvertTime, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseBAM, err := bestOf(func() (time.Duration, error) {
+		st, err := picard.BamToSam(bamPath, filepath.Join(outDir, "t1_picard.sam"))
+		if err != nil {
+			return 0, err
+		}
+		return st.Duration, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addTable1Rows(r, "BAM→SAM", noPreBAM, withPreBAM, baseBAM, 2043, 1548, 1425)
+	return r, nil
+}
+
+func addTable1Rows(r *Report, conversion string, noPre, withPre, baseline time.Duration,
+	paperNoPre, paperWithPre, paperBase float64) {
+
+	ratio := func(d time.Duration) string {
+		return fmt.Sprintf("%+.0f%%", 100*(d.Seconds()-baseline.Seconds())/baseline.Seconds())
+	}
+	r.AddRow(conversion, "ours, no preprocessing", fseconds(noPre.Seconds()),
+		fmt.Sprintf("%.0f", paperNoPre), ratio(noPre))
+	r.AddRow(conversion, "ours, with preprocessing", fseconds(withPre.Seconds()),
+		fmt.Sprintf("%.0f", paperWithPre), ratio(withPre))
+	r.AddRow(conversion, "baseline (Picard-style)", fseconds(baseline.Seconds()),
+		fmt.Sprintf("%.0f", paperBase), "+0%")
+}

@@ -1,0 +1,205 @@
+package fastq
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parseq/internal/formats"
+	"parseq/internal/simdata"
+)
+
+func TestReadFASTQ(t *testing.T) {
+	in := "@r1/1\nACGT\n+\nIIII\n@r2\nGG\n+r2 comment\nAB\n"
+	r := NewReader(strings.NewReader(in))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if r.Detected() != FormatFASTQ {
+		t.Errorf("Detected = %v", r.Detected())
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Name != "r1/1" || recs[0].Seq != "ACGT" || recs[0].Qual != "IIII" {
+		t.Errorf("recs[0] = %+v", recs[0])
+	}
+	if !recs[0].IsFASTQ() {
+		t.Error("IsFASTQ = false")
+	}
+	if recs[1].Qual != "AB" {
+		t.Errorf("recs[1] = %+v", recs[1])
+	}
+}
+
+func TestReadFASTAMultiline(t *testing.T) {
+	in := ">seq one\nACGT\nACGT\n\n>seq2\nGGGG\n"
+	r := NewReader(strings.NewReader(in))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if r.Detected() != FormatFASTA {
+		t.Errorf("Detected = %v", r.Detected())
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Name != "seq one" || recs[0].Seq != "ACGTACGT" {
+		t.Errorf("recs[0] = %+v", recs[0])
+	}
+	if recs[0].IsFASTQ() {
+		t.Error("FASTA record claims qualities")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"not a record\n",
+		"@r1\nACGT\nIIII\n",         // missing '+'
+		"@r1\nACGT\n+\nII\n",        // qual length mismatch
+		"@r1\nACGT\n+\n",            // truncated
+		">empty\n>next\nAC\n",       // empty FASTA sequence
+		"@q\nAC\n+\nII\n>mix\nAC\n", // format mix
+	}
+	for _, in := range cases {
+		r := NewReader(strings.NewReader(in))
+		if _, err := r.ReadAll(); !errors.Is(err, ErrMalformed) && err == nil {
+			t.Errorf("ReadAll(%q) accepted", in)
+		}
+	}
+}
+
+func TestWriteFASTARoundTrip(t *testing.T) {
+	recs := []Record{
+		{Name: "a", Seq: strings.Repeat("ACGT", 30)},
+		{Name: "b desc", Seq: "GG"},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 60)
+	for _, rec := range recs {
+		if err := w.WriteFASTA(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Wrapping happened.
+	if !strings.Contains(buf.String(), "\nACGTACGT") {
+		t.Errorf("no wrapped lines:\n%s", buf.String())
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Seq != recs[0].Seq || got[1].Name != "b desc" {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestWriteFASTQValidation(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{}, 0)
+	if err := w.WriteFASTQ(Record{Name: "x", Seq: "ACGT", Qual: "II"}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// The converter's FASTQ output must read back with one record per
+// primary alignment.
+func TestConverterFASTQOutputReadsBack(t *testing.T) {
+	d := simdata.Generate(simdata.DefaultConfig(300))
+	enc, err := formats.New("fastq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	want := 0
+	for i := range d.Records {
+		before := len(out)
+		out, err = enc.Encode(out, &d.Records[i], d.Header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) > before {
+			want++
+		}
+	}
+	recs, err := NewReader(bytes.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll over converter output: %v", err)
+	}
+	if len(recs) != want {
+		t.Errorf("read %d records, converter emitted %d", len(recs), want)
+	}
+	for i, rec := range recs {
+		if len(rec.Seq) != 90 || len(rec.Qual) != 90 {
+			t.Fatalf("record %d lengths %d/%d", i, len(rec.Seq), len(rec.Qual))
+		}
+	}
+}
+
+// Same for FASTA output.
+func TestConverterFASTAOutputReadsBack(t *testing.T) {
+	d := simdata.Generate(simdata.DefaultConfig(200))
+	enc, err := formats.New("fasta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	for i := range d.Records {
+		out, err = enc.Encode(out, &d.Records[i], d.Header)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := NewReader(bytes.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll over converter output: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records read back")
+	}
+}
+
+// Property: FASTQ write→read is the identity for clean records.
+func TestFASTQRoundTripProperty(t *testing.T) {
+	f := func(nameSeed, seqSeed []byte) bool {
+		if len(seqSeed) == 0 {
+			seqSeed = []byte{0}
+		}
+		const bases = "ACGTN"
+		name := "r"
+		for _, b := range nameSeed {
+			if b > 0x20 && b < 0x7f {
+				name += string(b)
+			}
+		}
+		seq := make([]byte, len(seqSeed))
+		qual := make([]byte, len(seqSeed))
+		for i, b := range seqSeed {
+			seq[i] = bases[int(b)%len(bases)]
+			qual[i] = byte(33 + int(b)%90)
+		}
+		rec := Record{Name: name, Seq: string(seq), Qual: string(qual)}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 0)
+		if err := w.WriteFASTQ(rec); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadAll()
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0] == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package formats implements the target-format side of the paper's
+// converter: the "user programs" that turn one alignment object into one
+// target object. Encoders exist for every format the paper lists —
+// SAM, BED, BEDGRAPH, FASTA, FASTQ, JSON and YAML — and the Encoder
+// interface is the extension point the paper advertises: supporting a new
+// format means implementing one conversion function, with partitioning
+// and I/O handled by the runtime.
+package formats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"parseq/internal/sam"
+)
+
+// Encoder converts alignment objects into one target format. Encode
+// appends the target object's textual form to dst; returning dst
+// unchanged skips the record (how encoders express "this record has no
+// representation in my format", e.g. an unmapped read in BED).
+type Encoder interface {
+	// Name is the format's registry key, e.g. "bed".
+	Name() string
+	// Extension is the conventional file suffix, e.g. ".bed".
+	Extension() string
+	// Header returns the file prologue for the format (possibly empty).
+	Header(h *sam.Header) []byte
+	// Encode appends rec's representation to dst.
+	Encode(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() Encoder{
+		"sam":      func() Encoder { return SAM{} },
+		"bed":      func() Encoder { return BED{} },
+		"bedgraph": func() Encoder { return BEDGraph{} },
+		"fasta":    func() Encoder { return FASTA{} },
+		"fastq":    func() Encoder { return FASTQ{} },
+		"json":     func() Encoder { return JSON{} },
+		"yaml":     func() Encoder { return YAML{} },
+	}
+)
+
+// Register adds a user-supplied target format — the extension mechanism
+// of the paper's Section III-A: "all the user has to do is to implement
+// a format conversion function in the user program". The factory is
+// called once per conversion so encoders may hold per-run state.
+// Registering an existing name (including a built-in) is an error;
+// formats are global, and silent replacement would change other callers'
+// conversions.
+func Register(name string, factory func() Encoder) error {
+	name = strings.ToLower(name)
+	if name == "" || factory == nil {
+		return fmt.Errorf("formats: invalid registration")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, exists := registry[name]; exists {
+		return fmt.Errorf("formats: format %q already registered", name)
+	}
+	registry[name] = factory
+	return nil
+}
+
+// New returns a fresh encoder for the named format.
+func New(name string) (Encoder, error) {
+	registryMu.RLock()
+	f, ok := registry[strings.ToLower(name)]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("formats: unknown format %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(), nil
+}
+
+// Names lists the registered formats, sorted.
+func Names() []string {
+	registryMu.RLock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	registryMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// appendInt appends the decimal form of a possibly negative integer.
+func appendInt(dst []byte, n int64) []byte {
+	if n < 0 {
+		dst = append(dst, '-')
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	if n == 0 {
+		return append(dst, '0')
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(dst, buf[i:]...)
+}
+
+// SAM re-emits records as SAM text (the BAM→SAM path of Table I).
+type SAM struct{}
+
+// Name implements Encoder.
+func (SAM) Name() string { return "sam" }
+
+// Extension implements Encoder.
+func (SAM) Extension() string { return ".sam" }
+
+// Header implements Encoder: the full SAM header section.
+func (SAM) Header(h *sam.Header) []byte {
+	if h == nil {
+		return nil
+	}
+	return []byte(h.String())
+}
+
+// Encode implements Encoder.
+func (SAM) Encode(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error) {
+	var b strings.Builder
+	rec.AppendText(&b)
+	dst = append(dst, b.String()...)
+	return append(dst, '\n'), nil
+}
+
+// BED emits one six-column BED feature per mapped alignment: chrom,
+// 0-based start, end, read name, score (MAPQ) and strand.
+type BED struct{}
+
+// Name implements Encoder.
+func (BED) Name() string { return "bed" }
+
+// Extension implements Encoder.
+func (BED) Extension() string { return ".bed" }
+
+// Header implements Encoder: BED files carry no header.
+func (BED) Header(*sam.Header) []byte { return nil }
+
+// Encode implements Encoder. Unmapped records are skipped.
+func (BED) Encode(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error) {
+	if rec.Unmapped() {
+		return dst, nil
+	}
+	dst = append(dst, rec.RName...)
+	dst = append(dst, '\t')
+	dst = appendInt(dst, int64(rec.Pos-1))
+	dst = append(dst, '\t')
+	dst = appendInt(dst, int64(rec.End()))
+	dst = append(dst, '\t')
+	dst = append(dst, rec.QName...)
+	dst = append(dst, '\t')
+	dst = appendInt(dst, int64(rec.MapQ))
+	dst = append(dst, '\t')
+	if rec.Flag.Reverse() {
+		dst = append(dst, '-')
+	} else {
+		dst = append(dst, '+')
+	}
+	return append(dst, '\n'), nil
+}
+
+// BEDGraph emits one four-column interval per mapped alignment: chrom,
+// 0-based start, end and a unit coverage contribution. Accumulating the
+// fourth column over overlapping intervals yields the coverage histogram
+// the statistical module consumes. A BEDGRAPH record carries the least
+// text of the paper's target formats, which is why its conversion is the
+// least I/O intensive (and scales best in Figure 6).
+type BEDGraph struct{}
+
+// Name implements Encoder.
+func (BEDGraph) Name() string { return "bedgraph" }
+
+// Extension implements Encoder.
+func (BEDGraph) Extension() string { return ".bedgraph" }
+
+// Header implements Encoder: the conventional track declaration.
+func (BEDGraph) Header(*sam.Header) []byte {
+	return []byte("track type=bedGraph\n")
+}
+
+// Encode implements Encoder. Unmapped records are skipped.
+func (BEDGraph) Encode(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error) {
+	if rec.Unmapped() {
+		return dst, nil
+	}
+	dst = append(dst, rec.RName...)
+	dst = append(dst, '\t')
+	dst = appendInt(dst, int64(rec.Pos-1))
+	dst = append(dst, '\t')
+	dst = appendInt(dst, int64(rec.End()))
+	dst = append(dst, "\t1\n"...)
+	return dst, nil
+}
+
+// FASTA emits each primary alignment's read as a FASTA entry,
+// reverse-complementing reverse-strand alignments so the original read
+// orientation is recovered.
+type FASTA struct{}
+
+// Name implements Encoder.
+func (FASTA) Name() string { return "fasta" }
+
+// Extension implements Encoder.
+func (FASTA) Extension() string { return ".fasta" }
+
+// Header implements Encoder.
+func (FASTA) Header(*sam.Header) []byte { return nil }
+
+// Encode implements Encoder. Secondary and supplementary alignments are
+// skipped so each read appears exactly once, matching Picard's SamToFastq
+// semantics.
+func (FASTA) Encode(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error) {
+	if !rec.Flag.Primary() || rec.Seq == "*" {
+		return dst, nil
+	}
+	dst = append(dst, '>')
+	dst = append(dst, rec.QName...)
+	dst = append(dst, readSuffix(rec.Flag)...)
+	dst = append(dst, '\n')
+	if rec.Flag.Reverse() {
+		dst = append(dst, sam.ReverseComplement(rec.Seq)...)
+	} else {
+		dst = append(dst, rec.Seq...)
+	}
+	return append(dst, '\n'), nil
+}
+
+// FASTQ emits each primary alignment's read and qualities as a FASTQ
+// entry (the SAM→FASTQ path of Table I).
+type FASTQ struct{}
+
+// Name implements Encoder.
+func (FASTQ) Name() string { return "fastq" }
+
+// Extension implements Encoder.
+func (FASTQ) Extension() string { return ".fastq" }
+
+// Header implements Encoder.
+func (FASTQ) Header(*sam.Header) []byte { return nil }
+
+// Encode implements Encoder. Secondary and supplementary alignments are
+// skipped; reverse-strand reads are restored to read orientation.
+func (FASTQ) Encode(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error) {
+	if !rec.Flag.Primary() || rec.Seq == "*" {
+		return dst, nil
+	}
+	dst = append(dst, '@')
+	dst = append(dst, rec.QName...)
+	dst = append(dst, readSuffix(rec.Flag)...)
+	dst = append(dst, '\n')
+	seq, qual := rec.Seq, rec.Qual
+	if rec.Flag.Reverse() {
+		seq = sam.ReverseComplement(seq)
+		if qual != "*" {
+			qual = sam.Reverse(qual)
+		}
+	}
+	dst = append(dst, seq...)
+	dst = append(dst, "\n+\n"...)
+	if qual == "*" {
+		// Missing qualities render as the lowest score, one per base.
+		for range seq {
+			dst = append(dst, '!')
+		}
+	} else {
+		dst = append(dst, qual...)
+	}
+	return append(dst, '\n'), nil
+}
+
+// readSuffix marks paired-end mates "/1" and "/2" in FASTA/FASTQ names.
+func readSuffix(f sam.Flag) string {
+	switch {
+	case f.Paired() && f.Read1():
+		return "/1"
+	case f.Paired() && f.Read2():
+		return "/2"
+	}
+	return ""
+}

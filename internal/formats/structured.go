@@ -1,0 +1,167 @@
+package formats
+
+import (
+	"strconv"
+	"strings"
+
+	"parseq/internal/sam"
+)
+
+// JSON emits one JSON object per alignment, newline-delimited (NDJSON).
+// One-object-per-line keeps the format order-preserving and concatenable,
+// which is what lets independent partitions emit JSON in parallel.
+type JSON struct{}
+
+// Name implements Encoder.
+func (JSON) Name() string { return "json" }
+
+// Extension implements Encoder.
+func (JSON) Extension() string { return ".json" }
+
+// Header implements Encoder.
+func (JSON) Header(*sam.Header) []byte { return nil }
+
+// Encode implements Encoder.
+func (JSON) Encode(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error) {
+	dst = append(dst, `{"qname":`...)
+	dst = appendJSONString(dst, rec.QName)
+	dst = append(dst, `,"flag":`...)
+	dst = appendInt(dst, int64(rec.Flag))
+	dst = append(dst, `,"rname":`...)
+	dst = appendJSONString(dst, rec.RName)
+	dst = append(dst, `,"pos":`...)
+	dst = appendInt(dst, int64(rec.Pos))
+	dst = append(dst, `,"mapq":`...)
+	dst = appendInt(dst, int64(rec.MapQ))
+	dst = append(dst, `,"cigar":`...)
+	dst = appendJSONString(dst, rec.Cigar.String())
+	dst = append(dst, `,"rnext":`...)
+	dst = appendJSONString(dst, rec.RNext)
+	dst = append(dst, `,"pnext":`...)
+	dst = appendInt(dst, int64(rec.PNext))
+	dst = append(dst, `,"tlen":`...)
+	dst = appendInt(dst, int64(rec.TLen))
+	dst = append(dst, `,"seq":`...)
+	dst = appendJSONString(dst, rec.Seq)
+	dst = append(dst, `,"qual":`...)
+	dst = appendJSONString(dst, rec.Qual)
+	if len(rec.Tags) > 0 {
+		dst = append(dst, `,"tags":{`...)
+		for i, t := range rec.Tags {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, t.NameString())
+			dst = append(dst, ':')
+			switch t.Type {
+			case 'i':
+				dst = append(dst, t.Value...)
+			case 'f':
+				// SAM float syntax is JSON-compatible except for leading "+".
+				dst = append(dst, strings.TrimPrefix(t.Value, "+")...)
+			default:
+				dst = appendJSONString(dst, string(t.Type)+":"+t.Value)
+			}
+		}
+		dst = append(dst, '}')
+	}
+	dst = append(dst, '}', '\n')
+	return dst, nil
+}
+
+// appendJSONString appends a JSON-quoted string. SAM field content is
+// ASCII (tabs and newlines are field/record separators), so only quotes,
+// backslashes and control bytes need escaping.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		switch b := s[i]; {
+		case b == '"' || b == '\\':
+			dst = append(dst, '\\', b)
+		case b < 0x20:
+			dst = append(dst, `\u00`...)
+			const hex = "0123456789abcdef"
+			dst = append(dst, hex[b>>4], hex[b&0xf])
+		default:
+			dst = append(dst, b)
+		}
+	}
+	return append(dst, '"')
+}
+
+// YAML emits one YAML document-list item per alignment. Like the JSON
+// encoder it is self-delimiting per record, so partitions concatenate.
+type YAML struct{}
+
+// Name implements Encoder.
+func (YAML) Name() string { return "yaml" }
+
+// Extension implements Encoder.
+func (YAML) Extension() string { return ".yaml" }
+
+// Header implements Encoder.
+func (YAML) Header(*sam.Header) []byte { return nil }
+
+// Encode implements Encoder.
+func (YAML) Encode(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error) {
+	dst = append(dst, "- qname: "...)
+	dst = appendYAMLString(dst, rec.QName)
+	dst = append(dst, "\n  flag: "...)
+	dst = appendInt(dst, int64(rec.Flag))
+	dst = append(dst, "\n  rname: "...)
+	dst = appendYAMLString(dst, rec.RName)
+	dst = append(dst, "\n  pos: "...)
+	dst = appendInt(dst, int64(rec.Pos))
+	dst = append(dst, "\n  mapq: "...)
+	dst = appendInt(dst, int64(rec.MapQ))
+	dst = append(dst, "\n  cigar: "...)
+	dst = appendYAMLString(dst, rec.Cigar.String())
+	dst = append(dst, "\n  rnext: "...)
+	dst = appendYAMLString(dst, rec.RNext)
+	dst = append(dst, "\n  pnext: "...)
+	dst = appendInt(dst, int64(rec.PNext))
+	dst = append(dst, "\n  tlen: "...)
+	dst = appendInt(dst, int64(rec.TLen))
+	dst = append(dst, "\n  seq: "...)
+	dst = appendYAMLString(dst, rec.Seq)
+	dst = append(dst, "\n  qual: "...)
+	dst = appendYAMLString(dst, rec.Qual)
+	if len(rec.Tags) > 0 {
+		dst = append(dst, "\n  tags:"...)
+		for _, t := range rec.Tags {
+			dst = append(dst, "\n    "...)
+			dst = append(dst, t.NameString()...)
+			dst = append(dst, ": "...)
+			dst = appendYAMLString(dst, string(t.Type)+":"+t.Value)
+		}
+	}
+	return append(dst, '\n'), nil
+}
+
+// appendYAMLString quotes s when plain-scalar rules would misread it;
+// SAM's special values ("*", "=") and anything with YAML indicator
+// characters get double quotes.
+func appendYAMLString(dst []byte, s string) []byte {
+	if yamlPlainSafe(s) {
+		return append(dst, s...)
+	}
+	return append(dst, strconv.Quote(s)...)
+}
+
+func yamlPlainSafe(s string) bool {
+	if s == "" || s == "*" || s == "=" || s == "~" {
+		return false
+	}
+	if strings.ContainsAny(s, ":#{}[],&!|>'\"%@`\\\n\t ") {
+		return false
+	}
+	switch s[0] {
+	case '-', '?', '*', '&', '=':
+		return false
+	}
+	// Purely numeric-looking strings are quoted to preserve type.
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,196 @@
+// Package hist is the coverage-histogram substrate linking the converter
+// to the statistical module: aligned reads are accumulated into
+// fixed-width bins along the genome ("binned peaks"), which is the data
+// the NL-means and FDR steps analyse. It also round-trips histograms
+// through the BEDGRAPH text form the converter emits, and a simple
+// TSV form used by the command-line tools.
+package hist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"parseq/internal/sam"
+)
+
+// Histogram is a binned coverage track over one reference sequence.
+type Histogram struct {
+	RName   string
+	BinSize int
+	Bins    []float64
+}
+
+// New allocates a histogram covering refLen bases at the given bin size.
+func New(rname string, refLen, binSize int) (*Histogram, error) {
+	if binSize < 1 {
+		return nil, fmt.Errorf("hist: invalid bin size %d", binSize)
+	}
+	if refLen < 0 {
+		return nil, fmt.Errorf("hist: invalid reference length %d", refLen)
+	}
+	n := (refLen + binSize - 1) / binSize
+	return &Histogram{RName: rname, BinSize: binSize, Bins: make([]float64, n)}, nil
+}
+
+// AddInterval accumulates weight over the 1-based inclusive interval
+// [beg, end], clipped to the histogram. Each overlapped bin receives the
+// weight times its overlapped fraction in bases.
+func (h *Histogram) AddInterval(beg, end int32, weight float64) {
+	if end < beg || len(h.Bins) == 0 {
+		return
+	}
+	b := int(beg) - 1 // to 0-based
+	e := int(end)     // exclusive
+	if b < 0 {
+		b = 0
+	}
+	if max := len(h.Bins) * h.BinSize; e > max {
+		e = max
+	}
+	for b < e {
+		bin := b / h.BinSize
+		binEnd := (bin + 1) * h.BinSize
+		over := e - b
+		if binEnd-b < over {
+			over = binEnd - b
+		}
+		h.Bins[bin] += weight * float64(over)
+		b += over
+	}
+}
+
+// AddRecord accumulates one aligned read's reference span.
+func (h *Histogram) AddRecord(rec *sam.Record) {
+	if rec.Unmapped() || rec.RName != h.RName {
+		return
+	}
+	h.AddInterval(rec.Pos, rec.End(), 1)
+}
+
+// Coverage builds a histogram for one reference from alignment records.
+func Coverage(recs []sam.Record, hd *sam.Header, rname string, binSize int) (*Histogram, error) {
+	id := hd.RefID(rname)
+	if id < 0 {
+		return nil, fmt.Errorf("hist: reference %q not in header", rname)
+	}
+	h, err := New(rname, hd.RefByID(id).Length, binSize)
+	if err != nil {
+		return nil, err
+	}
+	for i := range recs {
+		h.AddRecord(&recs[i])
+	}
+	return h, nil
+}
+
+// FromBEDGraph accumulates a BEDGRAPH stream (as the converter emits:
+// chrom, 0-based start, end, value) into a histogram for one reference.
+// Track declaration lines are skipped.
+func FromBEDGraph(r io.Reader, rname string, refLen, binSize int) (*Histogram, error) {
+	h, err := New(rname, refLen, binSize)
+	if err != nil {
+		return nil, err
+	}
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 64<<10), 4<<20)
+	lineNo := 0
+	for scan.Scan() {
+		lineNo++
+		line := scan.Text()
+		if line == "" || strings.HasPrefix(line, "track") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("hist: BEDGRAPH line %d has %d fields", lineNo, len(fields))
+		}
+		if fields[0] != rname {
+			continue
+		}
+		beg, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("hist: BEDGRAPH line %d start: %w", lineNo, err)
+		}
+		end, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("hist: BEDGRAPH line %d end: %w", lineNo, err)
+		}
+		val, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("hist: BEDGRAPH line %d value: %w", lineNo, err)
+		}
+		h.AddInterval(int32(beg)+1, int32(end), val)
+	}
+	if err := scan.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// WriteBEDGraph emits the histogram as BEDGRAPH, merging runs of equal
+// values into single intervals (the format's concise-track property).
+// Bins hold base-weighted mass; BEDGRAPH reports per-base depth, so each
+// emitted value is the bin mass divided by the bin width.
+func (h *Histogram) WriteBEDGraph(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("track type=bedGraph\n"); err != nil {
+		return err
+	}
+	i := 0
+	for i < len(h.Bins) {
+		j := i + 1
+		for j < len(h.Bins) && h.Bins[j] == h.Bins[i] {
+			j++
+		}
+		if h.Bins[i] != 0 {
+			fmt.Fprintf(bw, "%s\t%d\t%d\t%g\n",
+				h.RName, i*h.BinSize, j*h.BinSize, h.Bins[i]/float64(h.BinSize))
+		}
+		i = j
+	}
+	return bw.Flush()
+}
+
+// WriteTSV emits one value per line — the flat histogram-dataset form the
+// statistics tools exchange.
+func WriteTSV(w io.Writer, bins []float64) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range bins {
+		if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses a one-value-per-line histogram dataset.
+func ReadTSV(r io.Reader) ([]float64, error) {
+	var out []float64
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 64<<10), 4<<20)
+	for scan.Scan() {
+		line := strings.TrimSpace(scan.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("hist: line %d: %w", len(out)+1, err)
+		}
+		out = append(out, v)
+	}
+	if err := scan.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, errors.New("hist: empty histogram dataset")
+	}
+	return out, nil
+}

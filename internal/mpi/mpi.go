@@ -1,0 +1,395 @@
+// Package mpi is an in-process message-passing runtime standing in for
+// the MPI library the paper's C++ implementation uses. Ranks are
+// goroutines; point-to-point channels, barriers and collectives mirror
+// the MPI calls the paper's Algorithms 1 and 2 are written against, so
+// every parallel algorithm in this repository reads like its published
+// pseudocode.
+//
+// The runtime is deterministic where the paper's algorithms need it to
+// be: collectives combine contributions in rank order, so floating-point
+// reductions are reproducible run to run.
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ErrAborted is returned from communication calls after any rank in the
+// world has failed, so sibling ranks blocked in collectives unwind
+// instead of deadlocking.
+var ErrAborted = errors.New("mpi: world aborted")
+
+// message is one point-to-point payload.
+type message struct {
+	tag  int
+	data []byte
+}
+
+// world is the shared state of one Run invocation.
+type world struct {
+	size  int
+	chans [][]chan message // chans[from][to]
+
+	abortOnce sync.Once
+	abort     chan struct{}
+
+	barrierMu    sync.Mutex
+	barrierCond  *sync.Cond
+	barrierCount int
+	barrierGen   uint64
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	rank int
+	w    *world
+}
+
+// Run executes fn on size ranks concurrently and waits for all of them.
+// It returns the first error any rank produced. After a failure the other
+// ranks' communication calls return ErrAborted, so the world always
+// drains.
+func Run(size int, fn func(c *Comm) error) error {
+	if size < 1 {
+		return fmt.Errorf("mpi: invalid world size %d", size)
+	}
+	w := &world{size: size, abort: make(chan struct{})}
+	w.barrierCond = sync.NewCond(&w.barrierMu)
+	w.chans = make([][]chan message, size)
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, size)
+		for j := range w.chans[i] {
+			// A deep buffer decouples sender and receiver pacing; the
+			// paper's algorithms exchange O(1) messages per rank pair.
+			w.chans[i][j] = make(chan message, 64)
+		}
+	}
+
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					w.doAbort()
+				}
+			}()
+			if err := fn(&Comm{rank: rank, w: w}); err != nil {
+				errs[rank] = err
+				w.doAbort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrAborted) {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *world) doAbort() {
+	w.abortOnce.Do(func() {
+		close(w.abort)
+		// Wake any rank parked in Barrier.
+		w.barrierMu.Lock()
+		w.barrierCond.Broadcast()
+		w.barrierMu.Unlock()
+	})
+}
+
+func (w *world) aborted() bool {
+	select {
+	case <-w.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.w.size }
+
+// Send delivers data to rank `to` with a tag. The data is copied, so the
+// caller may reuse the slice.
+func (c *Comm) Send(to, tag int, data []byte) error {
+	if to < 0 || to >= c.w.size {
+		return fmt.Errorf("mpi: Send to invalid rank %d", to)
+	}
+	msg := message{tag: tag, data: append([]byte(nil), data...)}
+	select {
+	case c.w.chans[c.rank][to] <- msg:
+		return nil
+	case <-c.w.abort:
+		return ErrAborted
+	}
+}
+
+// Recv receives the next message from rank `from`, which must carry the
+// expected tag. Messages from one sender arrive in send order.
+func (c *Comm) Recv(from, tag int) ([]byte, error) {
+	if from < 0 || from >= c.w.size {
+		return nil, fmt.Errorf("mpi: Recv from invalid rank %d", from)
+	}
+	select {
+	case msg := <-c.w.chans[from][c.rank]:
+		if msg.tag != tag {
+			return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d",
+				c.rank, tag, from, msg.tag)
+		}
+		return msg.data, nil
+	case <-c.w.abort:
+		return nil, ErrAborted
+	}
+}
+
+// Barrier blocks until every rank has entered it. It matches the paper's
+// "set a global barrier" steps (Algorithm 1 line 16, Algorithm 2 line 4).
+func (c *Comm) Barrier() error {
+	w := c.w
+	w.barrierMu.Lock()
+	defer w.barrierMu.Unlock()
+	if w.aborted() {
+		return ErrAborted
+	}
+	gen := w.barrierGen
+	w.barrierCount++
+	if w.barrierCount == w.size {
+		w.barrierCount = 0
+		w.barrierGen++
+		w.barrierCond.Broadcast()
+		return nil
+	}
+	for gen == w.barrierGen && !w.aborted() {
+		w.barrierCond.Wait()
+	}
+	if w.aborted() {
+		return ErrAborted
+	}
+	return nil
+}
+
+// Bcast distributes root's data to every rank. All ranks pass their own
+// data argument; non-roots receive the broadcast value.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if c.rank == root {
+		for r := 0; r < c.w.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	return c.Recv(root, tagBcast)
+}
+
+// Gather collects every rank's data at root, indexed by rank. Non-root
+// ranks receive nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	if c.rank != root {
+		return nil, c.Send(root, tagGather, data)
+	}
+	out := make([][]byte, c.w.size)
+	out[root] = append([]byte(nil), data...)
+	for r := 0; r < c.w.size; r++ {
+		if r == root {
+			continue
+		}
+		d, err := c.Recv(r, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = d
+	}
+	return out, nil
+}
+
+// Scatter distributes parts[r] from root to each rank r; every rank
+// returns its own part. Only root's parts argument is consulted.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	if c.rank == root {
+		if len(parts) != c.w.size {
+			return nil, fmt.Errorf("mpi: Scatter needs %d parts, got %d", c.w.size, len(parts))
+		}
+		for r := 0; r < c.w.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagScatter, parts[r]); err != nil {
+				return nil, err
+			}
+		}
+		return append([]byte(nil), parts[root]...), nil
+	}
+	return c.Recv(root, tagScatter)
+}
+
+// Internal tags keep collective traffic from colliding with user Send/Recv.
+const (
+	tagBcast = -1 - iota
+	tagGather
+	tagScatter
+	tagReduce
+)
+
+// ReduceFloat64Sum sums each rank's contribution at root, combining in
+// rank order for determinism. Non-roots receive 0.
+func (c *Comm) ReduceFloat64Sum(root int, v float64) (float64, error) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	if c.rank != root {
+		return 0, c.Send(root, tagReduce, buf[:])
+	}
+	sum := 0.0
+	for r := 0; r < c.w.size; r++ {
+		if r == root {
+			sum += v
+			continue
+		}
+		d, err := c.Recv(r, tagReduce)
+		if err != nil {
+			return 0, err
+		}
+		if len(d) != 8 {
+			return 0, fmt.Errorf("mpi: reduce payload %d bytes", len(d))
+		}
+		sum += math.Float64frombits(binary.LittleEndian.Uint64(d))
+	}
+	return sum, nil
+}
+
+// ReduceInt64Sum sums each rank's contribution at root. Non-roots
+// receive 0.
+func (c *Comm) ReduceInt64Sum(root int, v int64) (int64, error) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	if c.rank != root {
+		return 0, c.Send(root, tagReduce, buf[:])
+	}
+	var sum int64
+	for r := 0; r < c.w.size; r++ {
+		if r == root {
+			sum += v
+			continue
+		}
+		d, err := c.Recv(r, tagReduce)
+		if err != nil {
+			return 0, err
+		}
+		if len(d) != 8 {
+			return 0, fmt.Errorf("mpi: reduce payload %d bytes", len(d))
+		}
+		sum += int64(binary.LittleEndian.Uint64(d))
+	}
+	return sum, nil
+}
+
+// AllreduceInt64Sum sums contributions and distributes the total to every
+// rank.
+func (c *Comm) AllreduceInt64Sum(v int64) (int64, error) {
+	sum, err := c.ReduceInt64Sum(0, v)
+	if err != nil {
+		return 0, err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(sum))
+	out, err := c.Bcast(0, buf[:])
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(out)), nil
+}
+
+// SendInt64 sends one int64 to rank `to`.
+func (c *Comm) SendInt64(to, tag int, v int64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	return c.Send(to, tag, buf[:])
+}
+
+// RecvInt64 receives one int64 from rank `from`.
+func (c *Comm) RecvInt64(from, tag int) (int64, error) {
+	d, err := c.Recv(from, tag)
+	if err != nil {
+		return 0, err
+	}
+	if len(d) != 8 {
+		return 0, fmt.Errorf("mpi: int64 payload %d bytes", len(d))
+	}
+	return int64(binary.LittleEndian.Uint64(d)), nil
+}
+
+// SendFloat64s sends a float64 slice to rank `to`.
+func (c *Comm) SendFloat64s(to, tag int, vs []float64) error {
+	buf := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return c.Send(to, tag, buf)
+}
+
+// RecvFloat64s receives a float64 slice from rank `from`.
+func (c *Comm) RecvFloat64s(from, tag int) ([]float64, error) {
+	d, err := c.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	if len(d)%8 != 0 {
+		return nil, fmt.Errorf("mpi: float64s payload %d bytes", len(d))
+	}
+	out := make([]float64, len(d)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(d[8*i:]))
+	}
+	return out, nil
+}
+
+// SplitRange evenly divides the half-open range [0, n) among the world's
+// ranks, giving earlier ranks the remainder items, and returns this
+// rank's [lo, hi) slice. It is the "evenly divide the datasets into N
+// partitions" step shared by every algorithm in the paper.
+func (c *Comm) SplitRange(n int) (lo, hi int) {
+	return SplitRange(n, c.w.size, c.rank)
+}
+
+// SplitRange divides [0, n) into size near-equal contiguous pieces and
+// returns piece `rank`.
+func SplitRange(n, size, rank int) (lo, hi int) {
+	if size <= 0 || n <= 0 {
+		return 0, 0
+	}
+	base := n / size
+	rem := n % size
+	lo = rank*base + min(rank, rem)
+	hi = lo + base
+	if rank < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,237 @@
+// Package nlmeans implements the 1-D non-local means denoising of NGS
+// coverage histograms (paper Section IV-A, after Buades et al. and Han et
+// al.): each bin is replaced by a weighted average of the bins in its
+// search range, weighted by the similarity of the patches around them.
+//
+// Three implementations share one kernel: a sequential reference, a
+// shared-memory parallel version, and the paper's distributed version in
+// which each rank's partition is expanded by an (r+l)-wide replicated
+// halo from its neighbours so no communication happens during the sweep.
+package nlmeans
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"parseq/internal/mpi"
+)
+
+// Params are the three salient NL-means parameters.
+type Params struct {
+	R     int     // search range radius, in bins
+	L     int     // half patch size, in bins
+	Sigma float64 // filtering parameter σ
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.R < 1 {
+		return fmt.Errorf("nlmeans: search radius %d < 1", p.R)
+	}
+	if p.L < 0 {
+		return fmt.Errorf("nlmeans: half patch size %d < 0", p.L)
+	}
+	if !(p.Sigma > 0) {
+		return fmt.Errorf("nlmeans: sigma %g must be positive", p.Sigma)
+	}
+	return nil
+}
+
+// Halo returns the per-side boundary width a partition must replicate:
+// the search radius plus the patch half-size.
+func (p Params) Halo() int { return p.R + p.L }
+
+// patchDistance is the squared L2 distance between the patches centred
+// at i and j, with indices clamped to the data (replicating edge bins).
+func patchDistance(v []float64, i, j, l int) float64 {
+	d := 0.0
+	n := len(v)
+	for k := -l; k <= l; k++ {
+		a, b := clamp(i+k, n), clamp(j+k, n)
+		diff := v[a] - v[b]
+		d += diff * diff
+	}
+	return d
+}
+
+func clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// denoisePoint computes NL[v_i] per Equations 1-3.
+func denoisePoint(v []float64, i int, p Params) float64 {
+	twoSigma2 := 2 * p.Sigma * p.Sigma
+	n := len(v)
+	sum, z := 0.0, 0.0
+	for j := i - p.R; j <= i+p.R; j++ {
+		jc := clamp(j, n)
+		w := math.Exp(-patchDistance(v, i, jc, p.L) / twoSigma2)
+		z += w
+		sum += w * v[jc]
+	}
+	return sum / z
+}
+
+// Denoise is the sequential reference implementation. Complexity is
+// Θ(N·(2r+1)·(2l+1)) as the paper states.
+func Denoise(v []float64, p Params) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = denoisePoint(v, i, p)
+	}
+	return out, nil
+}
+
+// DenoiseParallel computes the same result with shared-memory workers:
+// the input is read-only, so partitions need no replication and no
+// synchronisation beyond the final join.
+func DenoiseParallel(v []float64, p Params, cores int) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	out := make([]float64, len(v))
+	var wg sync.WaitGroup
+	wg.Add(cores)
+	for c := 0; c < cores; c++ {
+		go func(rank int) {
+			defer wg.Done()
+			lo, hi := mpi.SplitRange(len(v), cores, rank)
+			for i := lo; i < hi; i++ {
+				out[i] = denoisePoint(v, i, p)
+			}
+		}(c)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// DenoiseDistributed is the paper's three-step distributed strategy run
+// on the message-passing runtime: (1) the histogram is evenly divided
+// among ranks, (2) each partition P_i is expanded to P'_i by replicating
+// an (r+l)-wide region from each neighbour, (3) each rank denoises only
+// its original span against the expanded data, and rank 0 gathers the
+// result. All ranks receive the full denoised histogram.
+func DenoiseDistributed(c *mpi.Comm, v []float64, p Params) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rank, size := c.Rank(), c.Size()
+	lo, hi := c.SplitRange(len(v))
+	halo := p.Halo()
+	if size > 1 && len(v)/size < halo {
+		// A window may not reach past an immediate neighbour's partition:
+		// the single-hop halo exchange (and the paper's replication
+		// strategy) requires partitions at least (r+l) wide.
+		return nil, fmt.Errorf("nlmeans: partition of %d bins narrower than the %d-bin halo; use fewer ranks or a smaller search radius", len(v)/size, halo)
+	}
+
+	// Step 2: halo exchange. Send my boundary regions to neighbours,
+	// receive theirs. Even with empty partitions the protocol stays
+	// symmetric: empty slices are exchanged.
+	const (
+		tagToNext = 10 // my ending region → successor's left halo
+		tagToPrev = 11 // my starting region → predecessor's right halo
+	)
+	myPart := v[lo:hi]
+	if rank+1 < size {
+		end := myPart
+		if len(end) > halo {
+			end = myPart[len(myPart)-halo:]
+		}
+		if err := c.SendFloat64s(rank+1, tagToNext, end); err != nil {
+			return nil, err
+		}
+	}
+	if rank > 0 {
+		start := myPart
+		if len(start) > halo {
+			start = myPart[:halo]
+		}
+		if err := c.SendFloat64s(rank-1, tagToPrev, start); err != nil {
+			return nil, err
+		}
+	}
+	var left, right []float64
+	var err error
+	if rank > 0 {
+		left, err = c.RecvFloat64s(rank-1, tagToNext)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if rank+1 < size {
+		right, err = c.RecvFloat64s(rank+1, tagToPrev)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Expanded partition P'_i = left halo + P_i + right halo.
+	expanded := make([]float64, 0, len(left)+len(myPart)+len(right))
+	expanded = append(expanded, left...)
+	expanded = append(expanded, myPart...)
+	expanded = append(expanded, right...)
+
+	// Step 3: denoise only the original span. Points whose window would
+	// reach past the replicated halo fall back to global clamping only at
+	// the true data edges, where the halo is absent by construction.
+	local := make([]float64, len(myPart))
+	for i := range myPart {
+		local[i] = denoisePoint(expanded, len(left)+i, p)
+	}
+
+	// Gather rank partitions to root, then broadcast the assembled result.
+	parts, err := c.Gather(0, packFloat64s(local))
+	if err != nil {
+		return nil, err
+	}
+	var full []byte
+	if rank == 0 {
+		assembled := make([]float64, 0, len(v))
+		for _, part := range parts {
+			assembled = append(assembled, unpackFloat64s(part)...)
+		}
+		full = packFloat64s(assembled)
+	}
+	full, err = c.Bcast(0, full)
+	if err != nil {
+		return nil, err
+	}
+	return unpackFloat64s(full), nil
+}
+
+func packFloat64s(vs []float64) []byte {
+	out := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		bits := math.Float64bits(v)
+		for b := 0; b < 8; b++ {
+			out[8*i+b] = byte(bits >> (8 * b))
+		}
+	}
+	return out
+}
+
+func unpackFloat64s(d []byte) []float64 {
+	out := make([]float64, len(d)/8)
+	for i := range out {
+		var bits uint64
+		for b := 0; b < 8; b++ {
+			bits |= uint64(d[8*i+b]) << (8 * b)
+		}
+		out[i] = math.Float64frombits(bits)
+	}
+	return out
+}

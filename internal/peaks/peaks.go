@@ -1,0 +1,131 @@
+// Package peaks implements the enriched-region selection that consumes
+// the statistical module's outputs, completing the Han et al. pipeline
+// the paper parallelises: survival counts p_i per bin against the
+// simulation datasets, thresholding at the FDR-selected p_t, and merging
+// qualifying bins into peak calls.
+package peaks
+
+import (
+	"fmt"
+
+	"parseq/internal/fdr"
+)
+
+// Peak is one enriched region in bin coordinates, half-open [Start, End).
+type Peak struct {
+	Start, End int
+	MaxValue   float64 // highest histogram value inside the peak
+	MinSurvive int     // smallest p_i inside the peak (strongest evidence)
+}
+
+// Width returns the peak width in bins.
+func (p Peak) Width() int { return p.End - p.Start }
+
+// SurvivalCounts computes p_i = Σ_b I(r_i ≤ r*_ib) for every bin — how
+// many simulations match or beat the observation (Equation 4).
+func SurvivalCounts(hist []float64, sims [][]float64) ([]int, error) {
+	for b, s := range sims {
+		if len(s) != len(hist) {
+			return nil, fmt.Errorf("peaks: simulation %d has %d bins, histogram has %d",
+				b, len(s), len(hist))
+		}
+	}
+	p := make([]int, len(hist))
+	for i := range hist {
+		for b := range sims {
+			if hist[i] <= sims[b][i] {
+				p[i]++
+			}
+		}
+	}
+	return p, nil
+}
+
+// Options tunes peak calling.
+type Options struct {
+	// MaxGap merges qualifying runs separated by at most this many
+	// non-qualifying bins.
+	MaxGap int
+	// MinWidth drops peaks narrower than this many bins.
+	MinWidth int
+}
+
+// Call returns the enriched regions of the histogram: maximal runs of
+// bins whose survival count is at or below pt, merged across gaps of at
+// most opts.MaxGap bins and filtered to opts.MinWidth.
+func Call(hist []float64, sims [][]float64, pt float64, opts Options) ([]Peak, error) {
+	if len(sims) == 0 {
+		return nil, fmt.Errorf("peaks: no simulation datasets")
+	}
+	p, err := SurvivalCounts(hist, sims)
+	if err != nil {
+		return nil, err
+	}
+	var out []Peak
+	i := 0
+	for i < len(hist) {
+		if float64(p[i]) > pt {
+			i++
+			continue
+		}
+		peak := Peak{Start: i, End: i + 1, MaxValue: hist[i], MinSurvive: p[i]}
+		gap := 0
+		for j := i + 1; j < len(hist); j++ {
+			if float64(p[j]) <= pt {
+				peak.End = j + 1
+				if hist[j] > peak.MaxValue {
+					peak.MaxValue = hist[j]
+				}
+				if p[j] < peak.MinSurvive {
+					peak.MinSurvive = p[j]
+				}
+				gap = 0
+				continue
+			}
+			gap++
+			if gap > opts.MaxGap {
+				break
+			}
+		}
+		if peak.Width() >= opts.MinWidth {
+			out = append(out, peak)
+		}
+		i = peak.End + gap
+		if i <= peak.End {
+			i = peak.End
+		}
+	}
+	return out, nil
+}
+
+// CallWithFDR selects the best threshold from candidates by estimated
+// FDR (lowest non-zero estimate wins; ties break toward the larger
+// threshold, which selects more bins) and calls peaks at it. It returns
+// the peaks, the chosen threshold and its FDR estimate.
+func CallWithFDR(hist []float64, sims [][]float64, candidates []float64, opts Options) ([]Peak, float64, float64, error) {
+	if len(candidates) == 0 {
+		return nil, 0, 0, fmt.Errorf("peaks: no candidate thresholds")
+	}
+	estimates, err := fdr.Sweep(hist, sims, candidates)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	best := -1
+	for k := range candidates {
+		if estimates[k] <= 0 {
+			continue
+		}
+		if best < 0 || estimates[k] < estimates[best] ||
+			(estimates[k] == estimates[best] && candidates[k] > candidates[best]) {
+			best = k
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	ps, err := Call(hist, sims, candidates[best], opts)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return ps, candidates[best], estimates[best], nil
+}

@@ -1,0 +1,167 @@
+package peaks
+
+import (
+	"testing"
+
+	"parseq/internal/simdata"
+)
+
+// flatSims builds B simulations with constant background value.
+func flatSims(b, bins int, value float64) [][]float64 {
+	out := make([][]float64, b)
+	for i := range out {
+		s := make([]float64, bins)
+		for j := range s {
+			s[j] = value
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestSurvivalCounts(t *testing.T) {
+	hist := []float64{0, 5, 10}
+	sims := [][]float64{
+		{5, 5, 5},
+		{10, 4, 20},
+	}
+	p, err := SurvivalCounts(hist, sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 1, 1}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("p[%d] = %d, want %d", i, p[i], want[i])
+		}
+	}
+	if _, err := SurvivalCounts(hist, [][]float64{{1}}); err == nil {
+		t.Error("ragged simulations accepted")
+	}
+}
+
+func TestCallFindsPlantedPeaks(t *testing.T) {
+	const bins = 1000
+	hist := make([]float64, bins)
+	for i := range hist {
+		hist[i] = 5
+	}
+	// Two planted peaks well above the simulated background.
+	for i := 100; i < 140; i++ {
+		hist[i] = 50
+	}
+	for i := 600; i < 630; i++ {
+		hist[i] = 80
+	}
+	sims := flatSims(20, bins, 10)
+	got, err := Call(hist, sims, 0, Options{MinWidth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("peaks = %+v, want 2", got)
+	}
+	if got[0].Start != 100 || got[0].End != 140 {
+		t.Errorf("peak 0 = %+v", got[0])
+	}
+	if got[1].Start != 600 || got[1].End != 630 {
+		t.Errorf("peak 1 = %+v", got[1])
+	}
+	if got[1].MaxValue != 80 {
+		t.Errorf("peak 1 MaxValue = %g", got[1].MaxValue)
+	}
+	if got[0].MinSurvive != 0 {
+		t.Errorf("peak 0 MinSurvive = %d", got[0].MinSurvive)
+	}
+	if got[0].Width() != 40 {
+		t.Errorf("peak 0 Width = %d", got[0].Width())
+	}
+}
+
+func TestCallMergesAcrossGaps(t *testing.T) {
+	const bins = 200
+	hist := make([]float64, bins)
+	for i := range hist {
+		hist[i] = 5
+	}
+	for i := 50; i < 60; i++ {
+		hist[i] = 50
+	}
+	hist[60] = 5 // one-bin dip
+	for i := 61; i < 70; i++ {
+		hist[i] = 50
+	}
+	sims := flatSims(10, bins, 10)
+
+	split, err := Call(hist, sims, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split) != 2 {
+		t.Fatalf("no-gap call = %+v, want 2 peaks", split)
+	}
+	merged, err := Call(hist, sims, 0, Options{MaxGap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 {
+		t.Fatalf("gap-1 call = %+v, want 1 peak", merged)
+	}
+	if merged[0].Start != 50 || merged[0].End != 70 {
+		t.Errorf("merged peak = %+v", merged[0])
+	}
+}
+
+func TestCallMinWidthFilters(t *testing.T) {
+	hist := []float64{5, 50, 5, 50, 50, 50, 5}
+	sims := flatSims(5, len(hist), 10)
+	got, err := Call(hist, sims, 0, Options{MinWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Start != 3 {
+		t.Errorf("peaks = %+v, want only the wide one", got)
+	}
+}
+
+func TestCallNoPeaks(t *testing.T) {
+	hist := []float64{1, 2, 3}
+	sims := flatSims(4, 3, 100)
+	got, err := Call(hist, sims, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("peaks = %+v, want none", got)
+	}
+	if _, err := Call(hist, nil, 0, Options{}); err == nil {
+		t.Error("no simulations accepted")
+	}
+}
+
+func TestCallWithFDR(t *testing.T) {
+	hist := simdata.Histogram(4000, 3)
+	sims := simdata.Simulations(20, 4000, 4)
+	ps, pt, estimate, err := CallWithFDR(hist, sims, []float64{0, 1, 2, 4}, Options{MinWidth: 2})
+	if err != nil {
+		t.Fatalf("CallWithFDR: %v", err)
+	}
+	if len(ps) == 0 {
+		t.Error("no peaks called on peaked synthetic data")
+	}
+	if estimate < 0 || estimate > 1.5 {
+		t.Errorf("FDR estimate = %g", estimate)
+	}
+	found := false
+	for _, c := range []float64{0, 1, 2, 4} {
+		if pt == c {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("chosen threshold %g not among candidates", pt)
+	}
+	if _, _, _, err := CallWithFDR(hist, sims, nil, Options{}); err == nil {
+		t.Error("empty candidates accepted")
+	}
+}

@@ -1,0 +1,239 @@
+package sam
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCigar(t *testing.T) {
+	c, err := ParseCigar("8M2I4M1D3M")
+	if err != nil {
+		t.Fatalf("ParseCigar: %v", err)
+	}
+	want := Cigar{
+		NewCigarOp(CigarMatch, 8),
+		NewCigarOp(CigarInsertion, 2),
+		NewCigarOp(CigarMatch, 4),
+		NewCigarOp(CigarDeletion, 1),
+		NewCigarOp(CigarMatch, 3),
+	}
+	if len(c) != len(want) {
+		t.Fatalf("ops = %d, want %d", len(c), len(want))
+	}
+	for i := range c {
+		if c[i] != want[i] {
+			t.Errorf("op[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestParseCigarStar(t *testing.T) {
+	c, err := ParseCigar("*")
+	if err != nil || c != nil {
+		t.Errorf("ParseCigar(*) = %v, %v; want nil, nil", c, err)
+	}
+}
+
+func TestParseCigarAllOps(t *testing.T) {
+	c, err := ParseCigar("1M2I3D4N5S6H7P8=9X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.String(); got != "1M2I3D4N5S6H7P8=9X" {
+		t.Errorf("round trip = %q", got)
+	}
+	// Query: M I S = X → 1+2+5+8+9 = 25.
+	if got := c.QueryLength(); got != 25 {
+		t.Errorf("QueryLength = %d, want 25", got)
+	}
+	// Reference: M D N = X → 1+3+4+8+9 = 25.
+	if got := c.ReferenceLength(); got != 25 {
+		t.Errorf("ReferenceLength = %d, want 25", got)
+	}
+}
+
+func TestParseCigarErrors(t *testing.T) {
+	for _, s := range []string{"M", "4Q", "4M2", "-4M", "4m"} {
+		if _, err := ParseCigar(s); !errors.Is(err, ErrInvalidCigar) {
+			t.Errorf("ParseCigar(%q) err = %v, want ErrInvalidCigar", s, err)
+		}
+	}
+}
+
+func TestCigarOpPacking(t *testing.T) {
+	op := NewCigarOp(CigarSoftClip, 1234)
+	if op.Type() != CigarSoftClip {
+		t.Errorf("Type = %v", op.Type())
+	}
+	if op.Len() != 1234 {
+		t.Errorf("Len = %d", op.Len())
+	}
+	if op.String() != "1234S" {
+		t.Errorf("String = %q", op.String())
+	}
+}
+
+func TestNewCigarOpClamps(t *testing.T) {
+	if got := NewCigarOp(CigarMatch, -5).Len(); got != 0 {
+		t.Errorf("negative length clamped to %d, want 0", got)
+	}
+	if got := NewCigarOp(CigarMatch, 1<<30).Len(); got != 1<<28-1 {
+		t.Errorf("oversized length clamped to %d, want %d", got, 1<<28-1)
+	}
+}
+
+func TestCigarOpConsumption(t *testing.T) {
+	cases := []struct {
+		op    CigarOpType
+		query bool
+		ref   bool
+	}{
+		{CigarMatch, true, true},
+		{CigarInsertion, true, false},
+		{CigarDeletion, false, true},
+		{CigarSkipped, false, true},
+		{CigarSoftClip, true, false},
+		{CigarHardClip, false, false},
+		{CigarPadding, false, false},
+		{CigarEqual, true, true},
+		{CigarDiff, true, true},
+	}
+	for _, tc := range cases {
+		if got := tc.op.ConsumesQuery(); got != tc.query {
+			t.Errorf("%c ConsumesQuery = %v, want %v", tc.op.Char(), got, tc.query)
+		}
+		if got := tc.op.ConsumesReference(); got != tc.ref {
+			t.Errorf("%c ConsumesReference = %v, want %v", tc.op.Char(), got, tc.ref)
+		}
+	}
+}
+
+// Property: String→Parse is the identity on well-formed CIGARs.
+func TestCigarRoundTripProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := make(Cigar, 0, len(raw))
+		for _, v := range raw {
+			// Length ≥ 1 so textual form is canonical.
+			c = append(c, NewCigarOp(CigarOpType(v%uint16(cigarOpCount)), int(v/16)+1))
+		}
+		parsed, err := ParseCigar(c.String())
+		if err != nil || len(parsed) != len(c) {
+			return false
+		}
+		for i := range c {
+			if parsed[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"NM:i:2", "RG:Z:grp1", "XA:A:c", "AS:f:-12.5",
+		"MD:Z:", "BQ:H:1AFF", "ZB:B:c,1,-2,3", "ZF:B:f,1.5,2",
+	} {
+		tag, err := ParseTag(s)
+		if err != nil {
+			t.Errorf("ParseTag(%q): %v", s, err)
+			continue
+		}
+		if got := tag.String(); got != s {
+			t.Errorf("Tag round trip = %q, want %q", got, s)
+		}
+	}
+}
+
+func TestTagTypedAccessors(t *testing.T) {
+	tag, _ := ParseTag("NM:i:-7")
+	if v, err := tag.Int(); err != nil || v != -7 {
+		t.Errorf("Int = %d, %v", v, err)
+	}
+	if _, err := tag.Float(); err == nil {
+		t.Error("Float on i tag succeeded")
+	}
+	ftag, _ := ParseTag("AS:f:2.5")
+	if v, err := ftag.Float(); err != nil || v != 2.5 {
+		t.Errorf("Float = %g, %v", v, err)
+	}
+	atag, _ := ParseTag("XA:A:c")
+	if c, err := atag.Char(); err != nil || c != 'c' {
+		t.Errorf("Char = %c, %v", c, err)
+	}
+	btag, _ := ParseTag("ZB:B:s,1,2,-3")
+	if sub, err := btag.ArraySubtype(); err != nil || sub != 's' {
+		t.Errorf("ArraySubtype = %c, %v", sub, err)
+	}
+	ints, err := btag.Ints()
+	if err != nil || len(ints) != 3 || ints[2] != -3 {
+		t.Errorf("Ints = %v, %v", ints, err)
+	}
+	if _, err := btag.Floats(); err == nil {
+		t.Error("Floats on int array succeeded")
+	}
+	fbtag, _ := ParseTag("ZF:B:f,0.5,1.5")
+	floats, err := fbtag.Floats()
+	if err != nil || len(floats) != 2 || floats[1] != 1.5 {
+		t.Errorf("Floats = %v, %v", floats, err)
+	}
+}
+
+func TestTagConstructors(t *testing.T) {
+	if got := IntTag("NM", 3).String(); got != "NM:i:3" {
+		t.Errorf("IntTag = %q", got)
+	}
+	if got := StringTag("RG", "g").String(); got != "RG:Z:g" {
+		t.Errorf("StringTag = %q", got)
+	}
+	if got := CharTag("XA", 'q').String(); got != "XA:A:q" {
+		t.Errorf("CharTag = %q", got)
+	}
+	if got := FloatTag("AS", 2.5).String(); got != "AS:f:2.5" {
+		t.Errorf("FloatTag = %q", got)
+	}
+}
+
+func TestParseTagErrors(t *testing.T) {
+	for _, s := range []string{"", "NM", "NM:i", "NM:q:1", "NMi:2:", "XA:A:ab", "NM:i:"} {
+		if _, err := ParseTag(s); !errors.Is(err, ErrInvalidTag) {
+			t.Errorf("ParseTag(%q) err = %v, want ErrInvalidTag", s, err)
+		}
+	}
+}
+
+func TestFlagPredicates(t *testing.T) {
+	f := FlagPaired | FlagProperPair | FlagMateReverse | FlagRead1
+	if !f.Paired() || f.Unmapped() || !f.Mapped() || f.Reverse() {
+		t.Errorf("predicates wrong for %v", f)
+	}
+	if !f.Read1() || f.Read2() || f.Secondary() || f.Supplementary() || !f.Primary() {
+		t.Errorf("segment predicates wrong for %v", f)
+	}
+	if !f.Has(FlagPaired | FlagRead1) {
+		t.Error("Has(paired|read1) = false")
+	}
+	if f.Has(FlagPaired | FlagReverse) {
+		t.Error("Has(paired|reverse) = true")
+	}
+	sec := FlagSecondary
+	if sec.Primary() {
+		t.Error("secondary counted as primary")
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	if got := Flag(0).String(); got != "0" {
+		t.Errorf("Flag(0) = %q", got)
+	}
+	if got := (FlagPaired | FlagUnmapped).String(); got != "PAIRED|UNMAPPED" {
+		t.Errorf("Flag string = %q", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Package sam implements the SAM (Sequence Alignment/Map) text format:
+// header parsing, the eleven mandatory alignment fields, optional typed
+// tags, CIGAR strings and FLAG bits, per the SAM specification v1.4 the
+// paper builds on.
+//
+// The package is the textual substrate for the parallel format converter:
+// it favours allocation-light parsing (field splitting without
+// intermediate slices, integer parsing without strconv error paths on the
+// hot path) so that the converter's per-record cost is dominated by I/O,
+// matching the behaviour the paper reports.
+package sam
+
+import "strings"
+
+// Flag holds the bitwise FLAG field of an alignment record.
+type Flag uint16
+
+// FLAG bits from the SAM specification.
+const (
+	// FlagPaired indicates the template has multiple segments in sequencing.
+	FlagPaired Flag = 0x1
+	// FlagProperPair indicates each segment is properly aligned according to the aligner.
+	FlagProperPair Flag = 0x2
+	// FlagUnmapped indicates the segment is unmapped.
+	FlagUnmapped Flag = 0x4
+	// FlagMateUnmapped indicates the next segment in the template is unmapped.
+	FlagMateUnmapped Flag = 0x8
+	// FlagReverse indicates SEQ is reverse complemented.
+	FlagReverse Flag = 0x10
+	// FlagMateReverse indicates SEQ of the next segment is reverse complemented.
+	FlagMateReverse Flag = 0x20
+	// FlagRead1 indicates this is the first segment in the template.
+	FlagRead1 Flag = 0x40
+	// FlagRead2 indicates this is the last segment in the template.
+	FlagRead2 Flag = 0x80
+	// FlagSecondary indicates a secondary alignment.
+	FlagSecondary Flag = 0x100
+	// FlagQCFail indicates the read fails platform/vendor quality checks.
+	FlagQCFail Flag = 0x200
+	// FlagDuplicate indicates the read is a PCR or optical duplicate.
+	FlagDuplicate Flag = 0x400
+	// FlagSupplementary indicates a supplementary alignment.
+	FlagSupplementary Flag = 0x800
+)
+
+var flagNames = [...]struct {
+	bit  Flag
+	name string
+}{
+	{FlagPaired, "PAIRED"},
+	{FlagProperPair, "PROPER_PAIR"},
+	{FlagUnmapped, "UNMAPPED"},
+	{FlagMateUnmapped, "MATE_UNMAPPED"},
+	{FlagReverse, "REVERSE"},
+	{FlagMateReverse, "MATE_REVERSE"},
+	{FlagRead1, "READ1"},
+	{FlagRead2, "READ2"},
+	{FlagSecondary, "SECONDARY"},
+	{FlagQCFail, "QC_FAIL"},
+	{FlagDuplicate, "DUPLICATE"},
+	{FlagSupplementary, "SUPPLEMENTARY"},
+}
+
+// Has reports whether all bits in mask are set in f.
+func (f Flag) Has(mask Flag) bool { return f&mask == mask }
+
+// Paired reports whether the template had multiple segments.
+func (f Flag) Paired() bool { return f&FlagPaired != 0 }
+
+// Unmapped reports whether the segment is unmapped.
+func (f Flag) Unmapped() bool { return f&FlagUnmapped != 0 }
+
+// Mapped reports whether the segment is mapped.
+func (f Flag) Mapped() bool { return f&FlagUnmapped == 0 }
+
+// Reverse reports whether SEQ is reverse complemented.
+func (f Flag) Reverse() bool { return f&FlagReverse != 0 }
+
+// Read1 reports whether this is the first segment in the template.
+func (f Flag) Read1() bool { return f&FlagRead1 != 0 }
+
+// Read2 reports whether this is the last segment in the template.
+func (f Flag) Read2() bool { return f&FlagRead2 != 0 }
+
+// Secondary reports whether this is a secondary alignment.
+func (f Flag) Secondary() bool { return f&FlagSecondary != 0 }
+
+// Supplementary reports whether this is a supplementary alignment.
+func (f Flag) Supplementary() bool { return f&FlagSupplementary != 0 }
+
+// Primary reports whether this is a primary alignment line (neither
+// secondary nor supplementary).
+func (f Flag) Primary() bool { return f&(FlagSecondary|FlagSupplementary) == 0 }
+
+// String returns a human-readable pipe-separated list of set flag names,
+// or "0" when no bits are set.
+func (f Flag) String() string {
+	if f == 0 {
+		return "0"
+	}
+	var parts []string
+	for _, fn := range flagNames {
+		if f&fn.bit != 0 {
+			parts = append(parts, fn.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}

@@ -1,0 +1,238 @@
+package sam
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleHeader = "@HD\tVN:1.4\tSO:coordinate\n" +
+	"@SQ\tSN:chr1\tLN:197195432\n" +
+	"@SQ\tSN:chr2\tLN:181748087\n" +
+	"@RG\tID:grp1\tSM:mouse1\tLB:lib1\tPL:ILLUMINA\n" +
+	"@PG\tID:bwa\tPN:bwa\tVN:0.6.2\tCL:bwa aln ref.fa reads.fq\n" +
+	"@CO\tsynthetic dataset\n"
+
+func TestParseHeader(t *testing.T) {
+	h, err := ParseHeader(sampleHeader)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	if h.Version != "1.4" {
+		t.Errorf("Version = %q", h.Version)
+	}
+	if h.SortOrder != SortCoordinate {
+		t.Errorf("SortOrder = %q", h.SortOrder)
+	}
+	if len(h.Refs) != 2 {
+		t.Fatalf("Refs = %d, want 2", len(h.Refs))
+	}
+	if h.Refs[0].Name != "chr1" || h.Refs[0].Length != 197195432 || h.Refs[0].ID != 0 {
+		t.Errorf("Refs[0] = %+v", h.Refs[0])
+	}
+	if len(h.ReadGroups) != 1 || h.ReadGroups[0].Sample != "mouse1" {
+		t.Errorf("ReadGroups = %+v", h.ReadGroups)
+	}
+	if len(h.Programs) != 1 || h.Programs[0].Name != "bwa" {
+		t.Errorf("Programs = %+v", h.Programs)
+	}
+	if len(h.Comments) != 1 || h.Comments[0] != "synthetic dataset" {
+		t.Errorf("Comments = %+v", h.Comments)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h, err := ParseHeader(sampleHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.String(); got != sampleHeader {
+		t.Errorf("round trip:\n got %q\nwant %q", got, sampleHeader)
+	}
+}
+
+func TestHeaderRefID(t *testing.T) {
+	h, err := ParseHeader(sampleHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := h.RefID("chr2"); id != 1 {
+		t.Errorf("RefID(chr2) = %d, want 1", id)
+	}
+	if id := h.RefID("chrX"); id != -1 {
+		t.Errorf("RefID(chrX) = %d, want -1", id)
+	}
+	if id := h.RefID("*"); id != -1 {
+		t.Errorf("RefID(*) = %d, want -1", id)
+	}
+	if ref := h.RefByID(1); ref.Name != "chr2" {
+		t.Errorf("RefByID(1) = %+v", ref)
+	}
+	if ref := h.RefByID(-1); ref.Name != "*" {
+		t.Errorf("RefByID(-1) = %+v", ref)
+	}
+	if ref := h.RefByID(99); ref.Name != "*" {
+		t.Errorf("RefByID(99) = %+v", ref)
+	}
+}
+
+func TestAddReferenceIdempotent(t *testing.T) {
+	h := NewHeader()
+	a := h.AddReference("chr1", 100)
+	b := h.AddReference("chr1", 100)
+	if a != b {
+		t.Errorf("AddReference twice: %d vs %d", a, b)
+	}
+	if len(h.Refs) != 1 {
+		t.Errorf("Refs = %d, want 1", len(h.Refs))
+	}
+}
+
+func TestHeaderClone(t *testing.T) {
+	h, err := ParseHeader(sampleHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := h.Clone()
+	c.AddReference("chrM", 16299)
+	if len(h.Refs) != 2 {
+		t.Errorf("clone mutated original: Refs = %d", len(h.Refs))
+	}
+	if c.RefID("chrM") != 2 {
+		t.Errorf("clone RefID(chrM) = %d", c.RefID("chrM"))
+	}
+	if c.RefID("chr1") != 0 {
+		t.Errorf("clone lost chr1 mapping")
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	cases := []string{
+		"bad line",
+		"@SQ\tLN:100",       // missing SN
+		"@SQ\tSN:c\tLN:abc", // bad LN
+		"@RG\tSM:x",         // missing ID
+		"@ZZ\tfoo:bar",      // unknown record type
+	}
+	for _, line := range cases {
+		if _, err := ParseHeader(line); err == nil {
+			t.Errorf("ParseHeader(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestParseHeaderCRLF(t *testing.T) {
+	h, err := ParseHeader("@SQ\tSN:chr1\tLN:5\r\n@CO\thello\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Refs) != 1 || h.Refs[0].Length != 5 {
+		t.Errorf("Refs = %+v", h.Refs)
+	}
+	if len(h.Comments) != 1 || h.Comments[0] != "hello" {
+		t.Errorf("Comments = %+v", h.Comments)
+	}
+}
+
+func TestReaderWriter(t *testing.T) {
+	input := sampleHeader + sampleLine + "\n" +
+		"r002\t0\tchr2\t100\t60\t10M\t*\t0\t0\tAAAAACCCCC\tJJJJJJJJJJ\n"
+	r, err := NewReader(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if len(r.Header().Refs) != 2 {
+		t.Fatalf("header refs = %d", len(r.Header().Refs))
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[1].RName != "chr2" || recs[1].Pos != 100 {
+		t.Errorf("recs[1] = %+v", recs[1])
+	}
+
+	var out strings.Builder
+	w, err := NewWriter(&out, r.Header())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != input {
+		t.Errorf("writer round trip:\n got %q\nwant %q", out.String(), input)
+	}
+}
+
+func TestReaderHeaderless(t *testing.T) {
+	r, err := NewReader(strings.NewReader(sampleLine + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+}
+
+func TestReaderEmpty(t *testing.T) {
+	r, err := NewReader(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil || len(recs) != 0 {
+		t.Errorf("ReadAll = %d recs, %v", len(recs), err)
+	}
+}
+
+func TestReaderNoTrailingNewline(t *testing.T) {
+	r, err := NewReader(strings.NewReader(sampleLine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].QName != "r001" {
+		t.Errorf("records = %+v", recs)
+	}
+}
+
+func TestReaderSkipsBlankLines(t *testing.T) {
+	r, err := NewReader(strings.NewReader(sampleLine + "\n\n" + sampleLine + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("records = %d, want 2", len(recs))
+	}
+}
+
+func TestReaderReportsLineNumber(t *testing.T) {
+	input := "@SQ\tSN:chr1\tLN:5\nnot\ta valid\trecord\n"
+	r, err := NewReader(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.ReadAll()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-2 mention", err)
+	}
+}

@@ -1,0 +1,317 @@
+package sam
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Record is one alignment: the eleven mandatory SAM fields plus optional
+// tags. Pos and PNext are 1-based as in SAM text; 0 means unavailable.
+type Record struct {
+	QName string // query template name; "*" when unavailable
+	Flag  Flag   // bitwise flag
+	RName string // reference sequence name; "*" when unmapped
+	Pos   int32  // 1-based leftmost mapping position; 0 when unmapped
+	MapQ  uint8  // mapping quality; 255 when unavailable
+	Cigar Cigar  // parsed CIGAR; nil renders as "*"
+	RNext string // reference name of the mate; "=", "*" or a name
+	PNext int32  // 1-based position of the mate
+	TLen  int32  // observed template length
+	Seq   string // segment sequence; "*" when unavailable
+	Qual  string // ASCII of base quality plus 33; "*" when unavailable
+	Tags  []Tag  // optional fields
+}
+
+// ErrInvalidRecord reports a malformed alignment line.
+var ErrInvalidRecord = errors.New("sam: invalid alignment record")
+
+// ParseRecord parses one tab-delimited alignment line (without the
+// trailing newline).
+func ParseRecord(line string) (Record, error) {
+	var r Record
+	if err := parseRecordInto(&r, line); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// ParseRecordInto parses line into r, reusing r's Tags slice capacity.
+// It is the allocation-light entry point for the converter hot path.
+func ParseRecordInto(r *Record, line string) error {
+	r.Tags = r.Tags[:0]
+	return parseRecordInto(r, line)
+}
+
+func parseRecordInto(r *Record, line string) error {
+	rest := line
+	next := func() (string, bool) {
+		if rest == "" {
+			return "", false
+		}
+		if i := strings.IndexByte(rest, '\t'); i >= 0 {
+			f := rest[:i]
+			rest = rest[i+1:]
+			return f, true
+		}
+		f := rest
+		rest = ""
+		return f, true
+	}
+
+	field, ok := next()
+	if !ok || field == "" {
+		return fmt.Errorf("%w: empty QNAME", ErrInvalidRecord)
+	}
+	r.QName = field
+
+	field, ok = next()
+	if !ok {
+		return fmt.Errorf("%w: missing FLAG", ErrInvalidRecord)
+	}
+	flag, err := parseUint(field, 1<<16-1)
+	if err != nil {
+		return fmt.Errorf("%w: FLAG %q", ErrInvalidRecord, field)
+	}
+	r.Flag = Flag(flag)
+
+	r.RName, ok = next()
+	if !ok || r.RName == "" {
+		return fmt.Errorf("%w: missing RNAME", ErrInvalidRecord)
+	}
+
+	field, ok = next()
+	if !ok {
+		return fmt.Errorf("%w: missing POS", ErrInvalidRecord)
+	}
+	pos, err := parseUint(field, 1<<31-1)
+	if err != nil {
+		return fmt.Errorf("%w: POS %q", ErrInvalidRecord, field)
+	}
+	r.Pos = int32(pos)
+
+	field, ok = next()
+	if !ok {
+		return fmt.Errorf("%w: missing MAPQ", ErrInvalidRecord)
+	}
+	mapq, err := parseUint(field, 255)
+	if err != nil {
+		return fmt.Errorf("%w: MAPQ %q", ErrInvalidRecord, field)
+	}
+	r.MapQ = uint8(mapq)
+
+	field, ok = next()
+	if !ok {
+		return fmt.Errorf("%w: missing CIGAR", ErrInvalidRecord)
+	}
+	r.Cigar, err = ParseCigar(field)
+	if err != nil {
+		return err
+	}
+
+	r.RNext, ok = next()
+	if !ok || r.RNext == "" {
+		return fmt.Errorf("%w: missing RNEXT", ErrInvalidRecord)
+	}
+
+	field, ok = next()
+	if !ok {
+		return fmt.Errorf("%w: missing PNEXT", ErrInvalidRecord)
+	}
+	pnext, err := parseUint(field, 1<<31-1)
+	if err != nil {
+		return fmt.Errorf("%w: PNEXT %q", ErrInvalidRecord, field)
+	}
+	r.PNext = int32(pnext)
+
+	field, ok = next()
+	if !ok {
+		return fmt.Errorf("%w: missing TLEN", ErrInvalidRecord)
+	}
+	tlen, err := strconv.ParseInt(field, 10, 32)
+	if err != nil {
+		return fmt.Errorf("%w: TLEN %q", ErrInvalidRecord, field)
+	}
+	r.TLen = int32(tlen)
+
+	r.Seq, ok = next()
+	if !ok || r.Seq == "" {
+		return fmt.Errorf("%w: missing SEQ", ErrInvalidRecord)
+	}
+
+	r.Qual, ok = next()
+	if !ok || r.Qual == "" {
+		return fmt.Errorf("%w: missing QUAL", ErrInvalidRecord)
+	}
+	if r.Seq != "*" && r.Qual != "*" && len(r.Seq) != len(r.Qual) {
+		return fmt.Errorf("%w: SEQ/QUAL length mismatch (%d vs %d)",
+			ErrInvalidRecord, len(r.Seq), len(r.Qual))
+	}
+
+	for {
+		field, ok = next()
+		if !ok {
+			break
+		}
+		tag, err := ParseTag(field)
+		if err != nil {
+			return err
+		}
+		r.Tags = append(r.Tags, tag)
+	}
+	return nil
+}
+
+// parseUint parses a non-negative decimal with an inclusive maximum,
+// avoiding strconv's interface-heavy error path on the hot path.
+func parseUint(s string, max uint64) (uint64, error) {
+	if s == "" {
+		return 0, ErrInvalidRecord
+	}
+	var n uint64
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b < '0' || b > '9' {
+			return 0, ErrInvalidRecord
+		}
+		n = n*10 + uint64(b-'0')
+		if n > max {
+			return 0, ErrInvalidRecord
+		}
+	}
+	return n, nil
+}
+
+// Unmapped reports whether the record is unmapped either by flag or by a
+// missing reference name/position.
+func (r *Record) Unmapped() bool {
+	return r.Flag.Unmapped() || r.RName == "*" || r.Pos == 0
+}
+
+// End returns the 1-based inclusive rightmost reference position covered
+// by the alignment. For unmapped records or records without a CIGAR it
+// returns Pos.
+func (r *Record) End() int32 {
+	refLen := r.Cigar.ReferenceLength()
+	if refLen == 0 {
+		return r.Pos
+	}
+	return r.Pos + int32(refLen) - 1
+}
+
+// MateRName resolves the "=" convention of the RNEXT field.
+func (r *Record) MateRName() string {
+	if r.RNext == "=" {
+		return r.RName
+	}
+	return r.RNext
+}
+
+// Tag returns the first optional field with the given two-character name.
+func (r *Record) Tag(name string) (Tag, bool) {
+	if len(name) != 2 {
+		return Tag{}, false
+	}
+	for _, t := range r.Tags {
+		if t.Name[0] == name[0] && t.Name[1] == name[1] {
+			return t, true
+		}
+	}
+	return Tag{}, false
+}
+
+// String renders the record as one SAM alignment line without a trailing
+// newline.
+func (r *Record) String() string {
+	var b strings.Builder
+	r.AppendText(&b)
+	return b.String()
+}
+
+// AppendText writes the record's SAM text form into b, without a trailing
+// newline. Using a caller-owned builder lets the converter reuse one
+// buffer per partition.
+func (r *Record) AppendText(b *strings.Builder) {
+	b.Grow(len(r.QName) + len(r.Seq) + len(r.Qual) + 64)
+	b.WriteString(r.QName)
+	b.WriteByte('\t')
+	appendInt(b, int(r.Flag))
+	b.WriteByte('\t')
+	b.WriteString(r.RName)
+	b.WriteByte('\t')
+	appendInt(b, int(r.Pos))
+	b.WriteByte('\t')
+	appendInt(b, int(r.MapQ))
+	b.WriteByte('\t')
+	if len(r.Cigar) == 0 {
+		b.WriteByte('*')
+	} else {
+		for _, op := range r.Cigar {
+			appendInt(b, op.Len())
+			b.WriteByte(op.Type().Char())
+		}
+	}
+	b.WriteByte('\t')
+	b.WriteString(r.RNext)
+	b.WriteByte('\t')
+	appendInt(b, int(r.PNext))
+	b.WriteByte('\t')
+	if r.TLen < 0 {
+		b.WriteByte('-')
+		appendInt(b, int(-int64(r.TLen)))
+	} else {
+		appendInt(b, int(r.TLen))
+	}
+	b.WriteByte('\t')
+	b.WriteString(r.Seq)
+	b.WriteByte('\t')
+	b.WriteString(r.Qual)
+	for _, t := range r.Tags {
+		b.WriteByte('\t')
+		b.WriteByte(t.Name[0])
+		b.WriteByte(t.Name[1])
+		b.WriteByte(':')
+		b.WriteByte(t.Type)
+		b.WriteByte(':')
+		b.WriteString(t.Value)
+	}
+}
+
+// ReverseComplement returns the reverse complement of a nucleotide
+// sequence; ambiguity codes map through the IUPAC complement table and
+// unknown bytes map to 'N'.
+func ReverseComplement(seq string) string {
+	out := make([]byte, len(seq))
+	for i := 0; i < len(seq); i++ {
+		out[len(seq)-1-i] = complementTable[seq[i]]
+	}
+	return string(out)
+}
+
+var complementTable = func() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = 'N'
+	}
+	pairs := []struct{ a, b byte }{
+		{'A', 'T'}, {'C', 'G'}, {'G', 'C'}, {'T', 'A'}, {'U', 'A'},
+		{'R', 'Y'}, {'Y', 'R'}, {'S', 'S'}, {'W', 'W'}, {'K', 'M'},
+		{'M', 'K'}, {'B', 'V'}, {'V', 'B'}, {'D', 'H'}, {'H', 'D'},
+		{'N', 'N'},
+	}
+	for _, p := range pairs {
+		t[p.a] = p.b
+		t[p.a+'a'-'A'] = p.b + 'a' - 'A'
+	}
+	return t
+}()
+
+// Reverse returns s reversed; used for qualities of reverse-strand reads.
+func Reverse(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		out[len(s)-1-i] = s[i]
+	}
+	return string(out)
+}

@@ -1,0 +1,159 @@
+package sam
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tag is one optional field of an alignment record, e.g. "NM:i:2".
+// The value is kept in its SAM textual representation; typed accessors
+// parse on demand. This keeps the hot conversion path free of per-tag
+// boxing while still supporting every SAM tag type (A c C s S i I f Z H B).
+type Tag struct {
+	Name  [2]byte // two-character tag name, e.g. {'N','M'}
+	Type  byte    // SAM type character: A, i, f, Z, H or B
+	Value string  // textual value; for B tags includes the subtype prefix, e.g. "c,1,2"
+}
+
+// ErrInvalidTag reports a malformed optional field.
+var ErrInvalidTag = errors.New("sam: invalid optional tag")
+
+// ParseTag parses one tab-delimited optional field like "NM:i:2".
+func ParseTag(s string) (Tag, error) {
+	// Minimum form is "XX:T:" with possibly empty Z value; numeric types
+	// need at least one value byte.
+	if len(s) < 5 || s[2] != ':' || s[4] != ':' {
+		return Tag{}, fmt.Errorf("%w: %q", ErrInvalidTag, s)
+	}
+	t := Tag{Type: s[3], Value: s[5:]}
+	t.Name[0], t.Name[1] = s[0], s[1]
+	switch t.Type {
+	case 'A', 'i', 'f', 'Z', 'H', 'B':
+		// BAM-only integer width codes (c, C, s, S, I) normalise to 'i'
+		// on the SAM side, so they are not accepted here.
+	default:
+		return Tag{}, fmt.Errorf("%w: unknown type %q in %q", ErrInvalidTag, t.Type, s)
+	}
+	if (t.Type == 'A' && len(t.Value) != 1) ||
+		((t.Type == 'i' || t.Type == 'f' || t.Type == 'B') && len(t.Value) == 0) {
+		return Tag{}, fmt.Errorf("%w: bad value in %q", ErrInvalidTag, s)
+	}
+	return Tag{Name: t.Name, Type: t.Type, Value: t.Value}, nil
+}
+
+// String renders the tag in SAM text form.
+func (t Tag) String() string {
+	var b strings.Builder
+	b.Grow(5 + len(t.Value))
+	b.WriteByte(t.Name[0])
+	b.WriteByte(t.Name[1])
+	b.WriteByte(':')
+	b.WriteByte(t.Type)
+	b.WriteByte(':')
+	b.WriteString(t.Value)
+	return b.String()
+}
+
+// NameString returns the two-character tag name as a string.
+func (t Tag) NameString() string { return string(t.Name[:]) }
+
+// Int returns the tag value as an int64 for 'i' typed tags.
+func (t Tag) Int() (int64, error) {
+	if t.Type != 'i' {
+		return 0, fmt.Errorf("sam: tag %s has type %c, not i", t.NameString(), t.Type)
+	}
+	return strconv.ParseInt(t.Value, 10, 64)
+}
+
+// Float returns the tag value as a float64 for 'f' typed tags.
+func (t Tag) Float() (float64, error) {
+	if t.Type != 'f' {
+		return 0, fmt.Errorf("sam: tag %s has type %c, not f", t.NameString(), t.Type)
+	}
+	return strconv.ParseFloat(t.Value, 64)
+}
+
+// Char returns the tag value as a byte for 'A' typed tags.
+func (t Tag) Char() (byte, error) {
+	if t.Type != 'A' || len(t.Value) != 1 {
+		return 0, fmt.Errorf("sam: tag %s is not a single character", t.NameString())
+	}
+	return t.Value[0], nil
+}
+
+// ArraySubtype returns the element type character of a 'B' array tag.
+func (t Tag) ArraySubtype() (byte, error) {
+	if t.Type != 'B' || len(t.Value) == 0 {
+		return 0, fmt.Errorf("sam: tag %s is not an array", t.NameString())
+	}
+	switch sub := t.Value[0]; sub {
+	case 'c', 'C', 's', 'S', 'i', 'I', 'f':
+		return sub, nil
+	default:
+		return 0, fmt.Errorf("sam: tag %s has unknown array subtype %c", t.NameString(), sub)
+	}
+}
+
+// Ints returns the elements of an integer 'B' array tag.
+func (t Tag) Ints() ([]int64, error) {
+	sub, err := t.ArraySubtype()
+	if err != nil {
+		return nil, err
+	}
+	if sub == 'f' {
+		return nil, fmt.Errorf("sam: tag %s is a float array", t.NameString())
+	}
+	parts := strings.Split(t.Value, ",")
+	out := make([]int64, 0, len(parts)-1)
+	for _, p := range parts[1:] {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sam: tag %s: %w", t.NameString(), err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Floats returns the elements of a float 'B' array tag.
+func (t Tag) Floats() ([]float64, error) {
+	sub, err := t.ArraySubtype()
+	if err != nil {
+		return nil, err
+	}
+	if sub != 'f' {
+		return nil, fmt.Errorf("sam: tag %s is an integer array", t.NameString())
+	}
+	parts := strings.Split(t.Value, ",")
+	out := make([]float64, 0, len(parts)-1)
+	for _, p := range parts[1:] {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sam: tag %s: %w", t.NameString(), err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// IntTag builds an 'i' typed tag.
+func IntTag(name string, v int64) Tag {
+	return Tag{Name: [2]byte{name[0], name[1]}, Type: 'i', Value: strconv.FormatInt(v, 10)}
+}
+
+// StringTag builds a 'Z' typed tag.
+func StringTag(name, v string) Tag {
+	return Tag{Name: [2]byte{name[0], name[1]}, Type: 'Z', Value: v}
+}
+
+// FloatTag builds an 'f' typed tag.
+func FloatTag(name string, v float64) Tag {
+	return Tag{Name: [2]byte{name[0], name[1]}, Type: 'f', Value: strconv.FormatFloat(v, 'g', -1, 32)}
+}
+
+// CharTag builds an 'A' typed tag.
+func CharTag(name string, c byte) Tag {
+	return Tag{Name: [2]byte{name[0], name[1]}, Type: 'A', Value: string(c)}
+}

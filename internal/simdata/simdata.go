@@ -1,0 +1,308 @@
+// Package simdata deterministically generates synthetic next-generation
+// sequencing data standing in for the paper's experimental datasets
+// (whole-genome mouse DNA-seq: Illumina HiSeq 2000 paired-end 90 bp reads
+// aligned to mm9 with BWA). Generated alignments have realistic field
+// distributions — varying CIGARs, qualities, optional tags and template
+// geometry — because the converter's per-record cost, which the paper's
+// experiments measure, is a function of exactly those field sizes.
+package simdata
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"parseq/internal/bam"
+	"parseq/internal/sam"
+)
+
+// MouseChromosomes mirrors the mm9 chromosome names with lengths scaled
+// down by scale (mm9 chr1 is 197,195,432 bp; scale 1000 gives 197,195).
+func MouseChromosomes(scale int) []sam.Reference {
+	if scale < 1 {
+		scale = 1
+	}
+	full := []struct {
+		name string
+		len  int
+	}{
+		{"chr1", 197195432}, {"chr2", 181748087}, {"chr3", 159599783},
+		{"chr4", 155630120}, {"chr5", 152537259}, {"chr6", 149517037},
+		{"chr7", 152524553}, {"chr8", 131738871}, {"chr9", 124076172},
+		{"chr10", 129993255}, {"chr11", 121843856}, {"chr12", 121257530},
+		{"chr13", 120284312}, {"chr14", 125194864}, {"chr15", 103494974},
+		{"chr16", 98319150}, {"chr17", 95272651}, {"chr18", 90772031},
+		{"chr19", 61342430}, {"chrX", 166650296}, {"chrY", 15902555},
+	}
+	refs := make([]sam.Reference, len(full))
+	for i, c := range full {
+		refs[i] = sam.Reference{Name: c.name, Length: c.len / scale, ID: i}
+	}
+	return refs
+}
+
+// Config controls dataset generation.
+type Config struct {
+	Seed         int64
+	NumReads     int // number of alignment records to generate
+	ReadLen      int // bases per read (paper: 90)
+	Chromosomes  []sam.Reference
+	Sorted       bool    // emit records in coordinate order
+	PairedFrac   float64 // fraction of reads that are one end of a proper pair
+	UnmappedFrac float64 // fraction of reads that are unmapped
+	Sample       string  // read-group sample name
+}
+
+// DefaultConfig mirrors the paper's dataset shape at laptop scale.
+func DefaultConfig(numReads int) Config {
+	return Config{
+		Seed:         1,
+		NumReads:     numReads,
+		ReadLen:      90,
+		Chromosomes:  MouseChromosomes(1000),
+		Sorted:       true,
+		PairedFrac:   0.95,
+		UnmappedFrac: 0.01,
+		Sample:       "mouse1",
+	}
+}
+
+// Dataset is a generated header plus records.
+type Dataset struct {
+	Header  *sam.Header
+	Records []sam.Record
+}
+
+// Generate builds the synthetic dataset described by cfg.
+func Generate(cfg Config) *Dataset {
+	if cfg.ReadLen <= 0 {
+		cfg.ReadLen = 90
+	}
+	if len(cfg.Chromosomes) == 0 {
+		cfg.Chromosomes = MouseChromosomes(1000)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := sam.NewHeader(cfg.Chromosomes...)
+	if cfg.Sorted {
+		h.SortOrder = sam.SortCoordinate
+	} else {
+		h.SortOrder = sam.SortUnsorted
+	}
+	h.ReadGroups = append(h.ReadGroups, sam.ReadGroup{
+		ID: "grp1", Sample: cfg.Sample, Library: "lib1", Platform: "ILLUMINA",
+	})
+	h.Programs = append(h.Programs, sam.Program{
+		ID: "bwa", Name: "bwa", Version: "0.6.2",
+		CommandLine: "bwa sampe ref.fa r1.sai r2.sai r1.fq r2.fq",
+	})
+
+	recs := make([]sam.Record, 0, cfg.NumReads)
+	for i := 0; i < cfg.NumReads; i++ {
+		recs = append(recs, generateRecord(rng, cfg, h, i))
+	}
+	if cfg.Sorted {
+		sort.SliceStable(recs, func(i, j int) bool {
+			ri, rj := h.RefID(recs[i].RName), h.RefID(recs[j].RName)
+			if ri != rj {
+				// Unmapped (-1) records sort last, as samtools does.
+				if ri < 0 {
+					return false
+				}
+				if rj < 0 {
+					return true
+				}
+				return ri < rj
+			}
+			return recs[i].Pos < recs[j].Pos
+		})
+	}
+	return &Dataset{Header: h, Records: recs}
+}
+
+const bases = "ACGT"
+const baseQualities = "##'+2:BFHIIJJJ" // Illumina-like quality alphabet, low to high
+
+func generateRecord(rng *rand.Rand, cfg Config, h *sam.Header, i int) sam.Record {
+	n := cfg.ReadLen
+	seq := make([]byte, n)
+	qual := make([]byte, n)
+	for j := range seq {
+		seq[j] = bases[rng.Intn(4)]
+		// Qualities degrade toward the read's 3' end, like real Illumina data.
+		idx := len(baseQualities) - 1 - rng.Intn(1+(j*len(baseQualities))/(2*n))
+		qual[j] = baseQualities[idx]
+	}
+	qname := fmt.Sprintf("HWI-ST%04d:8:1101:%05d:%06d", rng.Intn(10000), rng.Intn(99999), i)
+
+	if rng.Float64() < cfg.UnmappedFrac {
+		return sam.Record{
+			QName: qname, Flag: sam.FlagUnmapped, RName: "*", Pos: 0, MapQ: 0,
+			RNext: "*", Seq: string(seq), Qual: string(qual),
+			Tags: []sam.Tag{sam.StringTag("RG", "grp1")},
+		}
+	}
+
+	ref := cfg.Chromosomes[rng.Intn(len(cfg.Chromosomes))]
+	maxPos := ref.Length - n
+	if maxPos < 1 {
+		maxPos = 1
+	}
+	pos := int32(rng.Intn(maxPos) + 1)
+	cigar := randomCigar(rng, n)
+	mapq := uint8(20 + rng.Intn(41))
+
+	rec := sam.Record{
+		QName: qname,
+		RName: ref.Name,
+		Pos:   pos,
+		MapQ:  mapq,
+		Cigar: cigar,
+		RNext: "*",
+		Seq:   string(seq),
+		Qual:  string(qual),
+		Tags: []sam.Tag{
+			sam.IntTag("NM", int64(rng.Intn(4))),
+			sam.StringTag("RG", "grp1"),
+			sam.IntTag("AS", int64(n-rng.Intn(10))),
+		},
+	}
+	if rng.Float64() < cfg.PairedFrac {
+		isize := 200 + rng.Intn(200)
+		rec.Flag = sam.FlagPaired | sam.FlagProperPair
+		if rng.Intn(2) == 0 {
+			rec.Flag |= sam.FlagRead1 | sam.FlagMateReverse
+			rec.PNext = pos + int32(isize-n)
+			rec.TLen = int32(isize)
+		} else {
+			rec.Flag |= sam.FlagRead2 | sam.FlagReverse
+			rec.PNext = pos - int32(isize-n)
+			if rec.PNext < 1 {
+				rec.PNext = 1
+			}
+			rec.TLen = int32(-isize)
+		}
+		rec.RNext = "="
+	} else if rng.Intn(2) == 0 {
+		rec.Flag = sam.FlagReverse
+	}
+	return rec
+}
+
+// randomCigar produces BWA-like CIGAR distributions: mostly full-length
+// matches, with occasional soft clips, insertions and deletions.
+func randomCigar(rng *rand.Rand, n int) sam.Cigar {
+	switch r := rng.Float64(); {
+	case r < 0.80:
+		return sam.Cigar{sam.NewCigarOp(sam.CigarMatch, n)}
+	case r < 0.90:
+		clip := 1 + rng.Intn(n/4)
+		if rng.Intn(2) == 0 {
+			return sam.Cigar{
+				sam.NewCigarOp(sam.CigarSoftClip, clip),
+				sam.NewCigarOp(sam.CigarMatch, n-clip),
+			}
+		}
+		return sam.Cigar{
+			sam.NewCigarOp(sam.CigarMatch, n-clip),
+			sam.NewCigarOp(sam.CigarSoftClip, clip),
+		}
+	case r < 0.95:
+		ins := 1 + rng.Intn(5)
+		left := 1 + rng.Intn(n-ins-1)
+		return sam.Cigar{
+			sam.NewCigarOp(sam.CigarMatch, left),
+			sam.NewCigarOp(sam.CigarInsertion, ins),
+			sam.NewCigarOp(sam.CigarMatch, n-left-ins),
+		}
+	default:
+		del := 1 + rng.Intn(10)
+		left := 1 + rng.Intn(n-2)
+		return sam.Cigar{
+			sam.NewCigarOp(sam.CigarMatch, left),
+			sam.NewCigarOp(sam.CigarDeletion, del),
+			sam.NewCigarOp(sam.CigarMatch, n-left),
+		}
+	}
+}
+
+// WriteSAM writes the dataset as SAM text.
+func (d *Dataset) WriteSAM(w io.Writer) error {
+	sw, err := sam.NewWriter(w, d.Header)
+	if err != nil {
+		return err
+	}
+	for i := range d.Records {
+		if err := sw.Write(&d.Records[i]); err != nil {
+			return err
+		}
+	}
+	return sw.Flush()
+}
+
+// WriteBAM writes the dataset as BAM.
+func (d *Dataset) WriteBAM(w io.Writer) error {
+	bw, err := bam.NewWriter(w, d.Header)
+	if err != nil {
+		return err
+	}
+	for i := range d.Records {
+		if err := bw.Write(&d.Records[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Close()
+}
+
+// Histogram generates a synthetic binned coverage histogram of the kind
+// the statistical module analyses: a noisy background with enriched
+// regions (peaks), mimicking ChIP-seq coverage. Values are non-negative.
+func Histogram(bins int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	h := make([]float64, bins)
+	// Poisson-ish background around λ=5.
+	for i := range h {
+		h[i] = math.Max(0, 5+rng.NormFloat64()*2.2)
+	}
+	// Enriched regions: one peak per ~2000 bins, Gaussian profile.
+	nPeaks := bins / 2000
+	if nPeaks < 1 {
+		nPeaks = 1
+	}
+	for p := 0; p < nPeaks; p++ {
+		center := rng.Intn(bins)
+		height := 30 + rng.Float64()*70
+		width := 10 + rng.Float64()*40
+		lo := center - int(4*width)
+		hi := center + int(4*width)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > bins {
+			hi = bins
+		}
+		for i := lo; i < hi; i++ {
+			d := float64(i-center) / width
+			h[i] += height * math.Exp(-d*d/2)
+		}
+	}
+	return h
+}
+
+// Simulations generates B random-background simulation datasets of the
+// given bin count, as used by the FDR computation: background noise with
+// the same marginal distribution as the histogram's background but no
+// true peaks.
+func Simulations(b, bins int, seed int64) [][]float64 {
+	out := make([][]float64, b)
+	for s := range out {
+		rng := rand.New(rand.NewSource(seed + int64(s)*7919))
+		sim := make([]float64, bins)
+		for i := range sim {
+			sim[i] = math.Max(0, 5+rng.NormFloat64()*2.2)
+		}
+		out[s] = sim
+	}
+	return out
+}

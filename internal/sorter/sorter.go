@@ -1,0 +1,311 @@
+// Package sorter coordinate-sorts alignment datasets, the precondition
+// for every index in this repository (BAI binning, BAIX starting
+// positions) and for the paper's sorted 117 GB BAM input. The sort is an
+// external merge sort in the samtools mould: the input streams into
+// bounded in-memory chunks, chunks sort in parallel ranks and spill as
+// sorted temporary runs, and a k-way merge produces the output. Unmapped
+// records sort after all mapped ones, as samtools does.
+package sorter
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"parseq/internal/bam"
+	"parseq/internal/sam"
+)
+
+// Options tunes the sort.
+type Options struct {
+	// ChunkRecords is the number of records sorted in memory per run
+	// (default 100k ≈ tens of MB for short reads).
+	ChunkRecords int
+	// Cores sorts chunks with this many parallel workers.
+	Cores int
+	// TmpDir receives the temporary runs; "" uses the OS default.
+	TmpDir string
+}
+
+func (o *Options) normalize() {
+	if o.ChunkRecords < 1 {
+		o.ChunkRecords = 100_000
+	}
+	if o.Cores < 1 {
+		o.Cores = 1
+	}
+}
+
+// key is a record's coordinate sort key. Unmapped records (refID -1) map
+// past every reference.
+type key struct {
+	refID int32
+	pos   int32
+}
+
+func keyOf(h *sam.Header, rec *sam.Record) key {
+	id := h.RefID(rec.RName)
+	if id < 0 || rec.Unmapped() {
+		return key{refID: 1<<31 - 1, pos: rec.Pos}
+	}
+	return key{refID: int32(id), pos: rec.Pos}
+}
+
+func (k key) less(other key) bool {
+	if k.refID != other.refID {
+		return k.refID < other.refID
+	}
+	return k.pos < other.pos
+}
+
+// SortRecords coordinate-sorts records in place (stable, so equal
+// positions keep input order).
+func SortRecords(h *sam.Header, recs []sam.Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		return keyOf(h, &recs[i]).less(keyOf(h, &recs[j]))
+	})
+}
+
+// recordSource abstracts SAM/BAM inputs for the sorter.
+type recordSource interface {
+	Header() *sam.Header
+	ReadInto(*sam.Record) error
+}
+
+// SortSAMToBAM sorts a SAM file into a coordinate-sorted BAM file.
+func SortSAMToBAM(samPath, outPath string, opts Options) (int64, error) {
+	in, err := os.Open(samPath)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	src, err := sam.NewReader(in)
+	if err != nil {
+		return 0, err
+	}
+	return sortToBAM(src, outPath, opts)
+}
+
+// SortBAM sorts a BAM file into a coordinate-sorted BAM file.
+func SortBAM(bamPath, outPath string, opts Options) (int64, error) {
+	in, err := os.Open(bamPath)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	src, err := bam.NewReader(in)
+	if err != nil {
+		return 0, err
+	}
+	return sortToBAM(src, outPath, opts)
+}
+
+// sortToBAM drives the external merge sort.
+func sortToBAM(src recordSource, outPath string, opts Options) (int64, error) {
+	opts.normalize()
+	header := src.Header().Clone()
+	header.SortOrder = sam.SortCoordinate
+
+	tmpDir, err := os.MkdirTemp(opts.TmpDir, "parseq-sort-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(tmpDir)
+
+	// Phase 1: read chunks, sort them in parallel workers, spill runs.
+	type job struct {
+		idx  int
+		recs []sam.Record
+	}
+	jobs := make(chan job, opts.Cores)
+	runPaths := make([]string, 0, 8)
+	var runMu sync.Mutex
+	var wg sync.WaitGroup
+	workerErr := make([]error, opts.Cores)
+	for w := 0; w < opts.Cores; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for j := range jobs {
+				SortRecords(header, j.recs)
+				path := filepath.Join(tmpDir, fmt.Sprintf("run%06d.bam", j.idx))
+				if err := writeRun(path, header, j.recs); err != nil {
+					workerErr[worker] = err
+					// Drain remaining jobs so the producer never blocks.
+					continue
+				}
+				runMu.Lock()
+				runPaths = append(runPaths, path)
+				runMu.Unlock()
+			}
+		}(w)
+	}
+
+	var total int64
+	chunk := make([]sam.Record, 0, opts.ChunkRecords)
+	chunkIdx := 0
+	var readErr error
+	for {
+		var rec sam.Record
+		err := src.ReadInto(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		total++
+		chunk = append(chunk, rec)
+		if len(chunk) == opts.ChunkRecords {
+			jobs <- job{idx: chunkIdx, recs: chunk}
+			chunkIdx++
+			chunk = make([]sam.Record, 0, opts.ChunkRecords)
+		}
+	}
+	if len(chunk) > 0 && readErr == nil {
+		jobs <- job{idx: chunkIdx, recs: chunk}
+	}
+	close(jobs)
+	wg.Wait()
+	if readErr != nil {
+		return 0, readErr
+	}
+	for _, err := range workerErr {
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// Phase 2: k-way merge of the sorted runs.
+	sort.Strings(runPaths)
+	if err := mergeRuns(runPaths, header, outPath); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// writeRun spills one sorted chunk as a BAM run.
+func writeRun(path string, h *sam.Header, recs []sam.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w, err := bam.NewWriter(f, h)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// mergeItem is one run's head record in the merge heap.
+type mergeItem struct {
+	rec sam.Record
+	k   key
+	src int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.k != b.k {
+		return a.k.less(b.k)
+	}
+	// Equal keys: earlier run wins, keeping the sort stable.
+	return a.src < b.src
+}
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// mergeRuns streams the runs through a heap into the output BAM.
+func mergeRuns(runPaths []string, header *sam.Header, outPath string) error {
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	w, err := bam.NewWriter(out, header)
+	if err != nil {
+		out.Close()
+		return err
+	}
+	readers := make([]*bam.Reader, len(runPaths))
+	files := make([]*os.File, len(runPaths))
+	defer func() {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	h := &mergeHeap{}
+	for i, path := range runPaths {
+		f, err := os.Open(path)
+		if err != nil {
+			out.Close()
+			return err
+		}
+		files[i] = f
+		r, err := bam.NewReader(f)
+		if err != nil {
+			out.Close()
+			return err
+		}
+		readers[i] = r
+		var rec sam.Record
+		if err := r.ReadInto(&rec); err == io.EOF {
+			continue
+		} else if err != nil {
+			out.Close()
+			return err
+		}
+		heap.Push(h, mergeItem{rec: rec, k: keyOf(header, &rec), src: i})
+	}
+	for h.Len() > 0 {
+		item := heap.Pop(h).(mergeItem)
+		if err := w.Write(&item.rec); err != nil {
+			out.Close()
+			return err
+		}
+		var rec sam.Record
+		err := readers[item.src].ReadInto(&rec)
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			out.Close()
+			return err
+		}
+		heap.Push(h, mergeItem{rec: rec, k: keyOf(header, &rec), src: item.src})
+	}
+	if err := w.Close(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,211 @@
+package sorter
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parseq/internal/bam"
+	"parseq/internal/sam"
+	"parseq/internal/simdata"
+)
+
+// unsortedDataset writes an unsorted dataset as SAM and BAM files.
+func unsortedDataset(t testing.TB, n int) (samPath, bamPath string, d *simdata.Dataset) {
+	t.Helper()
+	cfg := simdata.DefaultConfig(n)
+	cfg.Sorted = false
+	d = simdata.Generate(cfg)
+	dir := t.TempDir()
+	samPath = filepath.Join(dir, "u.sam")
+	bamPath = filepath.Join(dir, "u.bam")
+	sf, err := os.Create(samPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteSAM(sf); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+	bf, err := os.Create(bamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteBAM(bf); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	return samPath, bamPath, d
+}
+
+// checkSorted validates coordinate order and content equality against the
+// reference records.
+func checkSorted(t *testing.T, outPath string, d *simdata.Dataset, wantCount int) {
+	t.Helper()
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := bam.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header().SortOrder != sam.SortCoordinate {
+		t.Errorf("output SortOrder = %q", r.Header().SortOrder)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != wantCount {
+		t.Fatalf("output records = %d, want %d", len(recs), wantCount)
+	}
+	// Order check.
+	lastRef, lastPos := -1, int32(0)
+	seenUnmapped := false
+	for i := range recs {
+		ref := r.Header().RefID(recs[i].RName)
+		if ref < 0 {
+			seenUnmapped = true
+			continue
+		}
+		if seenUnmapped {
+			t.Fatalf("mapped record %d after unmapped block", i)
+		}
+		if ref < lastRef || (ref == lastRef && recs[i].Pos < lastPos) {
+			t.Fatalf("record %d out of order: ref %d pos %d after ref %d pos %d",
+				i, ref, recs[i].Pos, lastRef, lastPos)
+		}
+		lastRef, lastPos = ref, recs[i].Pos
+	}
+	// Content check: the sorted output is a permutation of the input.
+	want := map[string]int{}
+	for i := range d.Records {
+		want[d.Records[i].String()]++
+	}
+	for i := range recs {
+		if want[recs[i].String()] == 0 {
+			t.Fatalf("record %d not in input (or duplicated): %s", i, recs[i].QName)
+		}
+		want[recs[i].String()]--
+	}
+}
+
+func TestSortSAMToBAM(t *testing.T) {
+	samPath, _, d := unsortedDataset(t, 1000)
+	for _, opts := range []Options{
+		{},                             // defaults: one big chunk
+		{ChunkRecords: 100, Cores: 4},  // many runs, parallel chunk sort
+		{ChunkRecords: 1000, Cores: 1}, // exactly one chunk
+		{ChunkRecords: 999, Cores: 2},  // trailing partial chunk
+	} {
+		out := filepath.Join(t.TempDir(), "s.bam")
+		n, err := SortSAMToBAM(samPath, out, opts)
+		if err != nil {
+			t.Fatalf("SortSAMToBAM(%+v): %v", opts, err)
+		}
+		if n != 1000 {
+			t.Errorf("sorted %d records", n)
+		}
+		checkSorted(t, out, d, 1000)
+	}
+}
+
+func TestSortBAM(t *testing.T) {
+	_, bamPath, d := unsortedDataset(t, 600)
+	out := filepath.Join(t.TempDir(), "s.bam")
+	n, err := SortBAM(bamPath, out, Options{ChunkRecords: 128, Cores: 3})
+	if err != nil {
+		t.Fatalf("SortBAM: %v", err)
+	}
+	if n != 600 {
+		t.Errorf("sorted %d records", n)
+	}
+	checkSorted(t, out, d, 600)
+}
+
+func TestSortedOutputIndexes(t *testing.T) {
+	// The whole point: sorted output feeds the index builder.
+	_, bamPath, _ := unsortedDataset(t, 400)
+	out := filepath.Join(t.TempDir(), "s.bam")
+	if _, err := SortBAM(bamPath, out, Options{ChunkRecords: 64, Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := bam.BuildFileIndex(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("BuildFileIndex over sorted output: %v", err)
+	}
+	if idx.NumRefs() == 0 {
+		t.Error("empty index")
+	}
+}
+
+func TestSortRecordsStable(t *testing.T) {
+	h := sam.NewHeader(sam.Reference{Name: "chr1", Length: 1000})
+	mk := func(name string, pos int32) sam.Record {
+		return sam.Record{
+			QName: name, RName: "chr1", Pos: pos, MapQ: 60,
+			Cigar: sam.Cigar{sam.NewCigarOp(sam.CigarMatch, 4)},
+			RNext: "*", Seq: "ACGT", Qual: "IIII",
+		}
+	}
+	recs := []sam.Record{mk("b", 5), mk("a", 5), mk("c", 1)}
+	SortRecords(h, recs)
+	if recs[0].QName != "c" || recs[1].QName != "b" || recs[2].QName != "a" {
+		t.Errorf("order = %s %s %s (stability broken)", recs[0].QName, recs[1].QName, recs[2].QName)
+	}
+}
+
+func TestSortEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "e.sam")
+	if err := os.WriteFile(empty, []byte("@SQ\tSN:chr1\tLN:100\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "e.bam")
+	n, err := SortSAMToBAM(empty, out, Options{})
+	if err != nil {
+		t.Fatalf("empty sort: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("n = %d", n)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := bam.NewReader(f)
+	if err != nil {
+		t.Fatalf("empty output unreadable: %v", err)
+	}
+	if recs, _ := r.ReadAll(); len(recs) != 0 {
+		t.Errorf("records = %d", len(recs))
+	}
+}
+
+func TestSortMissingInput(t *testing.T) {
+	if _, err := SortSAMToBAM("/nope.sam", filepath.Join(t.TempDir(), "o.bam"), Options{}); err == nil {
+		t.Error("missing SAM accepted")
+	}
+	if _, err := SortBAM("/nope.bam", filepath.Join(t.TempDir(), "o.bam"), Options{}); err == nil {
+		t.Error("missing BAM accepted")
+	}
+}
+
+func BenchmarkSortSAMToBAM(b *testing.B) {
+	samPath, _, _ := unsortedDataset(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := filepath.Join(b.TempDir(), "s.bam")
+		if _, err := SortSAMToBAM(samPath, out, Options{ChunkRecords: 1024, Cores: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
