@@ -1,0 +1,35 @@
+# parseq build/test entry points. `make ci` is the gate every change
+# must pass: vet, formatting, build, the full race-enabled test suite,
+# and a one-iteration smoke run of the BGZF codec benchmarks.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# One iteration of every BGZF benchmark (sequential + parallel sweeps):
+# catches benchmark bit-rot without paying for a real measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkBGZF' -benchtime 1x ./internal/bgzf
+
+ci: vet fmt-check build race bench-smoke
+	@echo "ci: all checks passed"

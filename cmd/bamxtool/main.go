@@ -7,11 +7,12 @@
 //	bamxtool info data.bamx
 //	bamxtool verify data.bamx
 //	bamxtool index data.bamx             # (re)build data.baix
-//	bamxtool compress data.bamx          # write data.bamz
+//	bamxtool [-w N] compress data.bamx   # write data.bamz, N deflate workers
 //	bamxtool region data.bamx chr1:1-50000
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -22,11 +23,16 @@ import (
 	"parseq/internal/sam"
 )
 
+var workers = flag.Int("w", 0, "compression worker goroutines (compress only; 0 or 1: sequential)")
+
 func main() {
-	if len(os.Args) < 3 {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
 		usage()
 	}
-	cmd, path := os.Args[1], os.Args[2]
+	cmd, path := args[0], args[1]
 	switch cmd {
 	case "info":
 		runInfo(path)
@@ -37,17 +43,17 @@ func main() {
 	case "compress":
 		runCompress(path)
 	case "region":
-		if len(os.Args) < 4 {
+		if len(args) < 3 {
 			usage()
 		}
-		runRegion(path, os.Args[3])
+		runRegion(path, args[2])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bamxtool {info|verify|index|compress} FILE.bamx")
+	fmt.Fprintln(os.Stderr, "usage: bamxtool [-w N] {info|verify|index|compress} FILE.bamx")
 	fmt.Fprintln(os.Stderr, "       bamxtool region FILE.bamx chr:beg-end")
 	os.Exit(2)
 }
@@ -141,7 +147,7 @@ func runCompress(path string) {
 	if err != nil {
 		die(err)
 	}
-	n, err := bamx.CompressBAMX(xf, out, bamx.DefaultRecsPerBlock)
+	n, err := bamx.CompressBAMXWorkers(xf, out, bamx.DefaultRecsPerBlock, *workers)
 	if err != nil {
 		out.Close()
 		die(err)

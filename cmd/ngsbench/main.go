@@ -28,6 +28,7 @@ func main() {
 		sims  = flag.Int("sims", 0, "FDR simulation datasets")
 		tmp   = flag.String("tmpdir", "", "scratch directory (default: a fresh temp dir)")
 		keep  = flag.Bool("keep", false, "keep scratch files")
+		codec = flag.Int("codec-workers", 0, "BGZF codec goroutines for BAM/BAMZ steps (0 or 1: sequential codec)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func main() {
 	}
 	sc.TmpDir = *tmp
 	sc.KeepTmp = *keep
+	sc.CodecWorkers = *codec
 
 	if *exp == "all" {
 		if err := parseq.RunAllExperiments(os.Stdout, sc); err != nil {

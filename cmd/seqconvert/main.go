@@ -31,6 +31,7 @@ func main() {
 		preproc   = flag.Bool("preprocess", false, "only preprocess the input into BAMX/BAIX")
 		preCores  = flag.Int("pre-p", 0, "preprocessing ranks for the psam converter (default: -p)")
 		baix      = flag.String("baix", "", "BAIX index path (default: input with .baix)")
+		codecWork = flag.Int("codec-workers", 0, "BGZF codec goroutines per BAM stream (0 or 1: sequential codec)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -60,6 +61,7 @@ func main() {
 
 	opts := parseq.Options{
 		Format: *format, Cores: *cores, OutDir: *outDir, OutPrefix: *prefix,
+		CodecWorkers: *codecWork,
 	}
 	if *region != "" {
 		r, err := parseq.ParseRegion(*region)
@@ -74,7 +76,7 @@ func main() {
 		base = strings.TrimSuffix(base, ".bam")
 		switch kind {
 		case "bam":
-			res, err := parseq.PreprocessBAM(*in, base+".bamx", base+".baix")
+			res, err := parseq.PreprocessBAMWorkers(*in, base+".bamx", base+".baix", *codecWork)
 			if err != nil {
 				die(err)
 			}

@@ -10,66 +10,118 @@ import (
 	"parseq/internal/sam"
 )
 
+// Option configures how a Reader or Writer drives the BGZF codec.
+type Option func(*codecOptions)
+
+type codecOptions struct {
+	workers int
+}
+
+// WithCodecWorkers selects the number of BGZF codec workers. Values
+// above 1 route compression/decompression through the parallel codec;
+// 0 or 1 keep the sequential codec. Both produce bit-identical streams
+// and virtual offsets, so indexes built against either resolve on both.
+func WithCodecWorkers(n int) Option {
+	return func(o *codecOptions) { o.workers = n }
+}
+
+func applyOptions(opts []Option) codecOptions {
+	var o codecOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
 // Reader decodes a BAM stream: the BAM header (SAM header text plus the
 // binary reference dictionary) eagerly, then one record per Read call.
 type Reader struct {
-	bg     *bgzf.Reader
+	bg     bgzf.BlockReader
 	header *sam.Header
 	buf    []byte // reusable record-body buffer
 	err    error
 }
 
 // NewReader wraps a BGZF-compressed BAM stream and decodes the header.
-func NewReader(r io.Reader) (*Reader, error) {
-	br := &Reader{bg: bgzf.NewReader(r)}
+// By default blocks inflate on the calling goroutine; pass
+// WithCodecWorkers(n) with n > 1 to decode ahead on a worker pool.
+func NewReader(r io.Reader, opts ...Option) (*Reader, error) {
+	o := applyOptions(opts)
+	var bg bgzf.BlockReader
+	if o.workers > 1 {
+		bg = bgzf.NewParallelReader(r, o.workers)
+	} else {
+		bg = bgzf.NewReader(r)
+	}
+	br := &Reader{bg: bg}
+	if err := br.readHeader(); err != nil {
+		// The parallel codec runs goroutines; release them before
+		// reporting the malformed header.
+		br.Close()
+		return nil, err
+	}
+	return br, nil
+}
+
+func (br *Reader) readHeader() error {
 	var magic [4]byte
 	if _, err := io.ReadFull(br.bg, magic[:]); err != nil {
-		return nil, fmt.Errorf("bam: reading magic: %w", err)
+		return fmt.Errorf("bam: reading magic: %w", err)
 	}
 	if string(magic[:]) != string(Magic) {
-		return nil, errors.New("bam: bad magic (not a BAM file)")
+		return errors.New("bam: bad magic (not a BAM file)")
 	}
 	var n int32
 	if err := binary.Read(br.bg, binary.LittleEndian, &n); err != nil {
-		return nil, fmt.Errorf("bam: header length: %w", err)
+		return fmt.Errorf("bam: header length: %w", err)
 	}
 	if n < 0 {
-		return nil, errors.New("bam: negative header length")
+		return errors.New("bam: negative header length")
 	}
 	text := make([]byte, n)
 	if _, err := io.ReadFull(br.bg, text); err != nil {
-		return nil, fmt.Errorf("bam: header text: %w", err)
+		return fmt.Errorf("bam: header text: %w", err)
 	}
 	h, err := sam.ParseHeader(string(text))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	var nRef int32
 	if err := binary.Read(br.bg, binary.LittleEndian, &nRef); err != nil {
-		return nil, fmt.Errorf("bam: reference count: %w", err)
+		return fmt.Errorf("bam: reference count: %w", err)
 	}
 	for i := int32(0); i < nRef; i++ {
 		var lName int32
 		if err := binary.Read(br.bg, binary.LittleEndian, &lName); err != nil {
-			return nil, fmt.Errorf("bam: reference %d: %w", i, err)
+			return fmt.Errorf("bam: reference %d: %w", i, err)
 		}
 		if lName <= 0 {
-			return nil, fmt.Errorf("bam: reference %d: bad name length %d", i, lName)
+			return fmt.Errorf("bam: reference %d: bad name length %d", i, lName)
 		}
 		name := make([]byte, lName)
 		if _, err := io.ReadFull(br.bg, name); err != nil {
-			return nil, fmt.Errorf("bam: reference %d name: %w", i, err)
+			return fmt.Errorf("bam: reference %d name: %w", i, err)
 		}
 		var lRef int32
 		if err := binary.Read(br.bg, binary.LittleEndian, &lRef); err != nil {
-			return nil, fmt.Errorf("bam: reference %d length: %w", i, err)
+			return fmt.Errorf("bam: reference %d length: %w", i, err)
 		}
 		// The binary dictionary is authoritative; the SAM text usually
 		// repeats it, and AddReference deduplicates.
 		h.AddReference(string(name[:lName-1]), int(lRef))
 	}
 	br.header = h
-	return br, nil
+	return nil
+}
+
+// Close releases codec resources. It matters for the parallel codec,
+// which keeps a worker pool alive until the stream is drained or
+// closed; on the sequential codec it is a no-op.
+func (br *Reader) Close() error {
+	if c, ok := br.bg.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // Header returns the decoded header.
@@ -157,15 +209,24 @@ func (br *Reader) ReadAll() ([]sam.Record, error) {
 
 // Writer encodes records into a BAM stream.
 type Writer struct {
-	bg     *bgzf.Writer
+	bg     bgzf.BlockWriter
 	header *sam.Header
 	buf    []byte
 	err    error
 }
 
-// NewWriter wraps w, writing the BAM header immediately.
-func NewWriter(w io.Writer, h *sam.Header) (*Writer, error) {
-	bw := &Writer{bg: bgzf.NewWriter(w), header: h}
+// NewWriter wraps w, writing the BAM header immediately. Pass
+// WithCodecWorkers(n) with n > 1 to compress blocks on a worker pool;
+// the emitted bytes are identical either way.
+func NewWriter(w io.Writer, h *sam.Header, opts ...Option) (*Writer, error) {
+	o := applyOptions(opts)
+	var bg bgzf.BlockWriter
+	if o.workers > 1 {
+		bg = bgzf.NewParallelWriter(w, o.workers)
+	} else {
+		bg = bgzf.NewWriter(w)
+	}
+	bw := &Writer{bg: bg, header: h}
 	text := h.String()
 	hdr := make([]byte, 0, 16+len(text))
 	hdr = append(hdr, Magic...)
@@ -179,6 +240,7 @@ func NewWriter(w io.Writer, h *sam.Header) (*Writer, error) {
 		hdr = appendInt32(hdr, int32(ref.Length))
 	}
 	if _, err := bw.bg.Write(hdr); err != nil {
+		bw.bg.Close()
 		return nil, err
 	}
 	return bw, nil
@@ -209,6 +271,9 @@ func (bw *Writer) Write(rec *sam.Record) error {
 // Close flushes pending blocks and writes the BGZF EOF marker.
 func (bw *Writer) Close() error {
 	if bw.err != nil {
+		// Still release the codec (worker pool, buffers) before
+		// reporting the sticky error.
+		bw.bg.Close()
 		return bw.err
 	}
 	return bw.bg.Close()

@@ -6,8 +6,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"parseq/internal/bam"
+	"parseq/internal/parpipe"
 	"parseq/internal/sam"
 )
 
@@ -56,14 +58,43 @@ type CompressedWriter struct {
 	body    []byte // BAM-encoding scratch
 	block   []byte // pending uncompressed block
 	scratch bytes.Buffer
-	offsets []uint64 // absolute offset of each block start
+	fw      *flate.Writer // reused across blocks on the sequential path
+	offsets []uint64      // absolute offset of each block start
 	written int64
 	count   int64
 	err     error
+
+	// Parallel deflate pipeline (nil when workers <= 1). Blocks are
+	// independent flate streams, so they compress concurrently and the
+	// drain goroutine retires them in order, owning offsets/written
+	// until drained is closed.
+	pipe    *parpipe.Pipe[*zblock]
+	drained chan struct{}
+	blkPool sync.Pool // raw block buffers
+	defPool sync.Pool // *flate.Writer per worker job
+	mu      sync.Mutex
+	perr    error // first error in stream order (deflate or sink)
 }
 
-// NewCompressedWriter writes the header and returns a record writer.
+// zblock is one BAMZ block moving through the parallel pipeline.
+type zblock struct {
+	raw  []byte
+	comp bytes.Buffer
+	err  error
+}
+
+// NewCompressedWriter writes the header and returns a record writer
+// that compresses blocks on the calling goroutine.
 func NewCompressedWriter(w io.Writer, h *sam.Header, caps Caps, recsPerBlock int) (*CompressedWriter, error) {
+	return NewCompressedWriterWorkers(w, h, caps, recsPerBlock, 0)
+}
+
+// NewCompressedWriterWorkers is NewCompressedWriter with block deflation
+// fanned out over `workers` goroutines (≤1 keeps it on the caller).
+// Output is byte-identical regardless of worker count: blocks are
+// retired in submission order and flate with a fixed level is
+// deterministic.
+func NewCompressedWriterWorkers(w io.Writer, h *sam.Header, caps Caps, recsPerBlock, workers int) (*CompressedWriter, error) {
 	if caps.QName < 2 || caps.Seq < 1 {
 		return nil, fmt.Errorf("bamx: degenerate caps %+v", caps)
 	}
@@ -88,7 +119,7 @@ func NewCompressedWriter(w io.Writer, h *sam.Header, caps Caps, recsPerBlock int
 		return nil, err
 	}
 	stride := caps.Stride()
-	return &CompressedWriter{
+	cw := &CompressedWriter{
 		w:            w,
 		header:       h,
 		caps:         caps,
@@ -97,7 +128,69 @@ func NewCompressedWriter(w io.Writer, h *sam.Header, caps Caps, recsPerBlock int
 		rec:          make([]byte, stride),
 		block:        make([]byte, 0, recsPerBlock*stride),
 		written:      int64(len(hdr)),
-	}, nil
+	}
+	if workers > 1 {
+		cw.blkPool.New = func() any { return make([]byte, 0, recsPerBlock*stride) }
+		cw.pipe = parpipe.New(workers, 4*workers, cw.deflateBlock)
+		cw.drained = make(chan struct{})
+		go cw.drain()
+	}
+	return cw, nil
+}
+
+// deflateBlock is the worker function: compress one block's raw bytes.
+func (w *CompressedWriter) deflateBlock(b *zblock) {
+	fw, _ := w.defPool.Get().(*flate.Writer)
+	if fw == nil {
+		var err error
+		fw, err = flate.NewWriter(&b.comp, flate.DefaultCompression)
+		if err != nil {
+			b.err = err
+			return
+		}
+	} else {
+		fw.Reset(&b.comp)
+	}
+	if _, err := fw.Write(b.raw); err != nil {
+		b.err = err
+		return
+	}
+	if err := fw.Close(); err != nil {
+		b.err = err
+		return
+	}
+	w.defPool.Put(fw)
+}
+
+// drain retires compressed blocks in submission order, writing them to
+// the sink and recording their offsets. It owns offsets and written
+// until drained closes; the first error in stream order wins.
+func (w *CompressedWriter) drain() {
+	defer close(w.drained)
+	for b := range w.pipe.Out() {
+		w.mu.Lock()
+		failed := w.perr != nil
+		w.mu.Unlock()
+		if !failed {
+			var err error
+			if b.err != nil {
+				err = b.err
+			} else {
+				w.offsets = append(w.offsets, uint64(w.written))
+				var n int
+				n, err = w.w.Write(b.comp.Bytes())
+				w.written += int64(n)
+			}
+			if err != nil {
+				w.mu.Lock()
+				w.perr = err
+				w.mu.Unlock()
+			}
+		}
+		b.comp.Reset()
+		w.blkPool.Put(b.raw[:0])
+		b.raw = nil
+	}
 }
 
 // Write appends one alignment.
@@ -138,18 +231,38 @@ func (w *CompressedWriter) flushBlock() error {
 	if len(w.block) == 0 {
 		return nil
 	}
+	if w.pipe != nil {
+		w.mu.Lock()
+		err := w.perr
+		w.mu.Unlock()
+		if err != nil {
+			w.err = err
+			return err
+		}
+		// Hand the pending block to the pipeline and continue filling a
+		// recycled buffer; the drain goroutine writes it out in order.
+		raw := w.block
+		w.block = w.blkPool.Get().([]byte)[:0]
+		w.pipe.Submit(&zblock{raw: raw})
+		return nil
+	}
 	w.offsets = append(w.offsets, uint64(w.written))
 	w.scratch.Reset()
-	fw, err := flate.NewWriter(&w.scratch, flate.DefaultCompression)
-	if err != nil {
+	if w.fw == nil {
+		fw, err := flate.NewWriter(&w.scratch, flate.DefaultCompression)
+		if err != nil {
+			w.err = err
+			return err
+		}
+		w.fw = fw
+	} else {
+		w.fw.Reset(&w.scratch)
+	}
+	if _, err := w.fw.Write(w.block); err != nil {
 		w.err = err
 		return err
 	}
-	if _, err := fw.Write(w.block); err != nil {
-		w.err = err
-		return err
-	}
-	if err := fw.Close(); err != nil {
+	if err := w.fw.Close(); err != nil {
 		w.err = err
 		return err
 	}
@@ -166,10 +279,31 @@ func (w *CompressedWriter) flushBlock() error {
 // Close flushes the final block and writes the table and footer.
 func (w *CompressedWriter) Close() error {
 	if w.err != nil {
+		if w.pipe != nil {
+			w.pipe.Close()
+			<-w.drained
+			w.pipe = nil
+		}
 		return w.err
 	}
 	if err := w.flushBlock(); err != nil {
+		if w.pipe != nil {
+			w.pipe.Close()
+			<-w.drained
+			w.pipe = nil
+		}
 		return err
+	}
+	if w.pipe != nil {
+		// Wait for every in-flight block to land before the table is
+		// positioned: offsets and written are final once drained closes.
+		w.pipe.Close()
+		<-w.drained
+		w.pipe = nil
+		if w.perr != nil {
+			w.err = w.perr
+			return w.err
+		}
 	}
 	tableOffset := uint64(w.written)
 	table := make([]byte, 0, 8*(len(w.offsets)+1)+compressedFooterSize)
@@ -352,7 +486,13 @@ func (f *CompressedFile) ReadRecord(i int64, rec *sam.Record) error {
 // CompressBAMX rewrites a plain BAMX file as a compressed one, returning
 // the record count.
 func CompressBAMX(src *File, w io.Writer, recsPerBlock int) (int64, error) {
-	cw, err := NewCompressedWriter(w, src.Header(), src.Caps(), recsPerBlock)
+	return CompressBAMXWorkers(src, w, recsPerBlock, 0)
+}
+
+// CompressBAMXWorkers is CompressBAMX with block deflation running on
+// `workers` goroutines (≤1 compresses on the calling goroutine).
+func CompressBAMXWorkers(src *File, w io.Writer, recsPerBlock, workers int) (int64, error) {
+	cw, err := NewCompressedWriterWorkers(w, src.Header(), src.Caps(), recsPerBlock, workers)
 	if err != nil {
 		return 0, err
 	}
@@ -360,13 +500,16 @@ func CompressBAMX(src *File, w io.Writer, recsPerBlock int) (int64, error) {
 	body := make([]byte, 0, src.Stride())
 	for i := int64(0); i < src.NumRecords(); i++ {
 		if err := src.ReadRaw(i, raw); err != nil {
+			cw.Close() // release deflate workers on the abandoned writer
 			return 0, err
 		}
 		body, err = unpadRecord(body[:0], raw, src.Caps())
 		if err != nil {
+			cw.Close()
 			return 0, err
 		}
 		if err := cw.WriteEncoded(body); err != nil {
+			cw.Close()
 			return 0, err
 		}
 	}

@@ -18,13 +18,22 @@ import (
 // to those capacities. The BAM bodies are relocated without decoding —
 // field lengths live in the record prefix.
 func PreprocessBAM(rs io.ReadSeeker, w io.Writer) (*Index, error) {
+	return PreprocessBAMWorkers(rs, w, 0)
+}
+
+// PreprocessBAMWorkers is PreprocessBAM with the BGZF inflate side
+// running on codecWorkers goroutines (≤1 keeps the sequential codec).
+// The record scan itself stays sequential — the paper's constraint is
+// on record delimitation, not block decompression, so the codec is the
+// one layer that can be parallelised under it.
+func PreprocessBAMWorkers(rs io.ReadSeeker, w io.Writer, codecWorkers int) (*Index, error) {
 	start, err := rs.Seek(0, io.SeekCurrent)
 	if err != nil {
 		return nil, err
 	}
 
 	// Pass 1: measure capacities.
-	br, err := bam.NewReader(rs)
+	br, err := bam.NewReader(rs, bam.WithCodecWorkers(codecWorkers))
 	if err != nil {
 		return nil, err
 	}
@@ -37,19 +46,24 @@ func PreprocessBAM(rs io.ReadSeeker, w io.Writer) (*Index, error) {
 			break
 		}
 		if err != nil {
+			br.Close()
 			return nil, err
 		}
 		caps.Observe(body)
+	}
+	if err := br.Close(); err != nil {
+		return nil, err
 	}
 
 	// Pass 2: relocate records into the padded layout.
 	if _, err := rs.Seek(start, io.SeekStart); err != nil {
 		return nil, err
 	}
-	br, err = bam.NewReader(rs)
+	br, err = bam.NewReader(rs, bam.WithCodecWorkers(codecWorkers))
 	if err != nil {
 		return nil, err
 	}
+	defer br.Close()
 	bw, err := NewWriter(w, br.Header(), caps)
 	if err != nil {
 		return nil, err

@@ -3,7 +3,9 @@
 // a "BC" extra subfield recording the compressed block size so readers can
 // skip between blocks without inflating them. Independent blocks are what
 // make BAM indexable — a (block offset, intra-block offset) pair, the
-// virtual file offset, addresses any record.
+// virtual file offset, addresses any record. Block independence is also
+// what makes the format parallelisable: see ParallelWriter and
+// ParallelReader for the pipelined multi-worker codec.
 package bgzf
 
 import (
@@ -63,6 +65,76 @@ func (v VOffset) Intra() int { return int(v & 0xffff) }
 // String renders the offset as "block:intra".
 func (v VOffset) String() string { return fmt.Sprintf("%d:%d", v.Block(), v.Intra()) }
 
+// BlockReader is the decompression interface both the sequential Reader
+// and the ParallelReader satisfy; consumers such as the BAM codec are
+// agnostic to which one feeds them.
+type BlockReader interface {
+	io.Reader
+	Offset() VOffset
+	Seek(VOffset) error
+}
+
+// BlockWriter is the compression interface both the sequential Writer
+// and the ParallelWriter satisfy.
+type BlockWriter interface {
+	io.Writer
+	Offset() VOffset
+	Flush() error
+	Close() error
+}
+
+// deflator owns one reusable flate writer plus the scratch it deflates
+// into. Reusing the pair across blocks removes the dominant per-block
+// allocation of the codec (a fresh flate.Writer is ~650 KiB of state).
+type deflator struct {
+	fw      *flate.Writer
+	scratch bytes.Buffer
+}
+
+// wrap compresses payload into a complete BGZF member appended to
+// dst[:0] and returns it.
+func (d *deflator) wrap(dst, payload []byte, level int) ([]byte, error) {
+	d.scratch.Reset()
+	if d.fw == nil {
+		fw, err := flate.NewWriter(&d.scratch, level)
+		if err != nil {
+			return nil, err
+		}
+		d.fw = fw
+	} else {
+		d.fw.Reset(&d.scratch)
+	}
+	if _, err := d.fw.Write(payload); err != nil {
+		return nil, err
+	}
+	if err := d.fw.Close(); err != nil {
+		return nil, err
+	}
+	compressed := d.scratch.Bytes()
+	bsize := headerSize + len(compressed) + footerSize
+	if bsize > MaxBlockSize {
+		return nil, fmt.Errorf("bgzf: block of %d bytes exceeds format limit", bsize)
+	}
+	if cap(dst) < bsize {
+		dst = make([]byte, bsize)
+	}
+	block := dst[:bsize]
+	for i := range block[:headerSize] {
+		block[i] = 0
+	}
+	block[0], block[1], block[2], block[3] = 0x1f, 0x8b, 0x08, 0x04 // magic, deflate, FEXTRA
+	// MTIME (4), XFL left zero.
+	block[9] = 0xff // OS unknown
+	binary.LittleEndian.PutUint16(block[10:], 6)
+	block[12], block[13] = 'B', 'C'
+	binary.LittleEndian.PutUint16(block[14:], 2)
+	binary.LittleEndian.PutUint16(block[16:], uint16(bsize-1))
+	copy(block[headerSize:], compressed)
+	binary.LittleEndian.PutUint32(block[headerSize+len(compressed):], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(block[headerSize+len(compressed)+4:], uint32(len(payload)))
+	return block, nil
+}
+
 // Writer compresses a stream into BGZF blocks. Close writes the EOF
 // marker block; forgetting it produces a file readers reject.
 type Writer struct {
@@ -70,8 +142,9 @@ type Writer struct {
 	level   int
 	buf     []byte // pending uncompressed bytes, ≤ blockPayload
 	payload int    // configured uncompressed bytes per block
-	scratch bytes.Buffer
-	offset  int64 // compressed bytes written so far
+	def     deflator
+	block   []byte // reusable wrapped-block buffer
+	offset  int64  // compressed bytes written so far
 	err     error
 }
 
@@ -86,13 +159,19 @@ func NewWriter(w io.Writer) *Writer {
 // Smaller payloads trade compression ratio for finer random-access
 // granularity — the knob the block-size ablation benchmark sweeps.
 func NewWriterLevel(w io.Writer, level, payload int) *Writer {
+	level, payload = clampLevelPayload(level, payload)
+	return &Writer{w: w, level: level, payload: payload, buf: make([]byte, 0, payload)}
+}
+
+// clampLevelPayload applies the shared knob validation of both writers.
+func clampLevelPayload(level, payload int) (int, int) {
 	if payload <= 0 || payload > MaxPayload {
 		payload = MaxPayload
 	}
 	if level < flate.HuffmanOnly || level > flate.BestCompression {
 		level = flate.DefaultCompression
 	}
-	return &Writer{w: w, level: level, payload: payload, buf: make([]byte, 0, payload)}
+	return level, payload
 }
 
 // Offset returns the virtual offset the next written byte will have.
@@ -133,11 +212,12 @@ func (w *Writer) Flush() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
-	block, err := w.compressBlock(w.buf)
+	block, err := w.def.wrap(w.block[:0], w.buf, w.level)
 	if err != nil {
 		w.err = err
 		return err
 	}
+	w.block = block
 	if _, err := w.w.Write(block); err != nil {
 		w.err = err
 		return err
@@ -161,94 +241,43 @@ func (w *Writer) Close() error {
 	return nil
 }
 
-// compressBlock wraps one payload in a complete BGZF member.
-func (w *Writer) compressBlock(payload []byte) ([]byte, error) {
-	w.scratch.Reset()
-	fw, err := flate.NewWriter(&w.scratch, w.level)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := fw.Write(payload); err != nil {
-		return nil, err
-	}
-	if err := fw.Close(); err != nil {
-		return nil, err
-	}
-	compressed := w.scratch.Bytes()
-	bsize := headerSize + len(compressed) + footerSize
-	if bsize > MaxBlockSize {
-		return nil, fmt.Errorf("bgzf: block of %d bytes exceeds format limit", bsize)
-	}
-	block := make([]byte, bsize)
-	block[0], block[1], block[2], block[3] = 0x1f, 0x8b, 0x08, 0x04 // magic, deflate, FEXTRA
-	// MTIME (4), XFL left zero.
-	block[9] = 0xff // OS unknown
-	binary.LittleEndian.PutUint16(block[10:], 6)
-	block[12], block[13] = 'B', 'C'
-	binary.LittleEndian.PutUint16(block[14:], 2)
-	binary.LittleEndian.PutUint16(block[16:], uint16(bsize-1))
-	copy(block[headerSize:], compressed)
-	binary.LittleEndian.PutUint32(block[headerSize+len(compressed):], crc32.ChecksumIEEE(payload))
-	binary.LittleEndian.PutUint32(block[headerSize+len(compressed)+4:], uint32(len(payload)))
-	return block, nil
+// blockScanner reads raw BGZF members sequentially, reusing its header
+// and extra-field scratch across blocks. It is the shared front half of
+// both readers: the sequential Reader inflates each member in place, the
+// ParallelReader's scan goroutine hands members to inflate workers.
+type blockScanner struct {
+	r     io.Reader
+	hdr   [headerSize]byte
+	extra []byte // reusable FEXTRA scratch
 }
 
-// Reader decompresses a BGZF stream block by block. When the underlying
-// reader is an io.ReadSeeker, Seek to a virtual offset is supported.
-type Reader struct {
-	r          io.Reader
-	rs         io.ReadSeeker // non-nil when seeking is possible
-	block      []byte        // current uncompressed block
-	pos        int           // read position within block
-	blockStart int64         // compressed offset of current block
-	nextStart  int64         // compressed offset of next block
-	sawEOF     bool
-	err        error
-	hdr        [headerSize]byte
-	raw        []byte // reusable compressed-block buffer
-}
-
-// NewReader wraps r. When r is an io.ReadSeeker the returned reader
-// supports Seek.
-func NewReader(r io.Reader) *Reader {
-	br := &Reader{r: r}
-	if rs, ok := r.(io.ReadSeeker); ok {
-		br.rs = rs
-	}
-	return br
-}
-
-// Offset returns the virtual offset of the next byte Read will return.
-func (r *Reader) Offset() VOffset { return MakeVOffset(r.blockStart, r.pos) }
-
-// readBlock loads the next block into r.block. It returns io.EOF at the
-// end of the stream (after the EOF marker).
-func (r *Reader) readBlock() error {
-	r.blockStart = r.nextStart
-	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+// next reads one compressed member into raw (grown as needed), returning
+// the member body (compressed data + footer) and the member's total
+// on-disk size. A clean end of stream at a member boundary returns
+// io.EOF; the caller decides whether the EOF marker was seen.
+func (s *blockScanner) next(raw []byte) ([]byte, int, error) {
+	if _, err := io.ReadFull(s.r, s.hdr[:]); err != nil {
 		if err == io.EOF {
-			if !r.sawEOF {
-				return ErrNoEOFMarker
-			}
-			return io.EOF
+			return raw, 0, io.EOF
 		}
 		if err == io.ErrUnexpectedEOF {
-			return ErrCorrupt
+			return raw, 0, ErrCorrupt
 		}
-		return err
+		return raw, 0, err
 	}
-	if r.hdr[0] != 0x1f || r.hdr[1] != 0x8b || r.hdr[2] != 0x08 || r.hdr[3]&0x04 == 0 {
-		return ErrNotBGZF
+	if s.hdr[0] != 0x1f || s.hdr[1] != 0x8b || s.hdr[2] != 0x08 || s.hdr[3]&0x04 == 0 {
+		return raw, 0, ErrNotBGZF
 	}
-	xlen := int(binary.LittleEndian.Uint16(r.hdr[10:]))
-	extra := make([]byte, xlen)
-	copy(extra, r.hdr[12:])
+	xlen := int(binary.LittleEndian.Uint16(s.hdr[10:]))
+	if cap(s.extra) < xlen {
+		s.extra = make([]byte, xlen)
+	}
+	extra := s.extra[:xlen]
+	copy(extra, s.hdr[12:])
 	if xlen > headerSize-12 {
-		if _, err := io.ReadFull(r.r, extra[headerSize-12:]); err != nil {
-			return ErrCorrupt
+		if _, err := io.ReadFull(s.r, extra[headerSize-12:]); err != nil {
+			return raw, 0, ErrCorrupt
 		}
-	} else {
-		extra = extra[:xlen]
 	}
 	bsize := -1
 	for i := 0; i+4 <= len(extra); {
@@ -261,54 +290,128 @@ func (r *Reader) readBlock() error {
 		i += 4 + slen
 	}
 	if bsize < 0 {
-		return ErrNotBGZF
+		return raw, 0, ErrNotBGZF
 	}
 	rawLen := bsize - 12 - xlen // compressed data + footer
 	if rawLen < footerSize {
-		return ErrCorrupt
+		return raw, 0, ErrCorrupt
 	}
-	if cap(r.raw) < rawLen {
-		r.raw = make([]byte, rawLen)
+	if cap(raw) < rawLen {
+		raw = make([]byte, rawLen)
 	}
-	raw := r.raw[:rawLen]
+	raw = raw[:rawLen]
 	already := 0
 	if 12+xlen < headerSize {
 		// Part of the data was consumed into the fixed-size header buffer.
 		already = headerSize - 12 - xlen
-		copy(raw, r.hdr[12+xlen:])
+		copy(raw, s.hdr[12+xlen:])
 	}
-	if _, err := io.ReadFull(r.r, raw[already:]); err != nil {
-		return ErrCorrupt
+	if _, err := io.ReadFull(s.r, raw[already:]); err != nil {
+		return raw, 0, ErrCorrupt
 	}
-	compressed, footer := raw[:rawLen-footerSize], raw[rawLen-footerSize:]
-	isize := binary.LittleEndian.Uint32(footer[4:])
-	wantCRC := binary.LittleEndian.Uint32(footer)
+	return raw, bsize, nil
+}
 
-	fr := flate.NewReader(bytes.NewReader(compressed))
-	if cap(r.block) < int(isize) {
-		r.block = make([]byte, isize)
+// inflater owns one reusable flate reader and decompresses member bodies
+// produced by blockScanner.next, verifying ISIZE and CRC32.
+type inflater struct {
+	src bytes.Reader
+	fr  io.ReadCloser
+}
+
+// inflate decompresses the member body raw into dst[:0] and returns it.
+func (inf *inflater) inflate(dst, raw []byte) ([]byte, error) {
+	compressed, footer := raw[:len(raw)-footerSize], raw[len(raw)-footerSize:]
+	wantCRC := binary.LittleEndian.Uint32(footer)
+	isize := binary.LittleEndian.Uint32(footer[4:])
+	if isize > MaxBlockSize {
+		// The spec bounds uncompressed blocks at 64 KiB; a larger ISIZE is
+		// corruption and must not drive the allocation below.
+		return dst[:0], fmt.Errorf("%w: ISIZE %d exceeds format limit", ErrCorrupt, isize)
 	}
-	r.block = r.block[:isize]
-	if _, err := io.ReadFull(fr, r.block); err != nil {
-		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	inf.src.Reset(compressed)
+	if inf.fr == nil {
+		inf.fr = flate.NewReader(&inf.src)
+	} else if err := inf.fr.(flate.Resetter).Reset(&inf.src, nil); err != nil {
+		return dst[:0], err
+	}
+	if cap(dst) < int(isize) {
+		dst = make([]byte, isize)
+	}
+	dst = dst[:isize]
+	if _, err := io.ReadFull(inf.fr, dst); err != nil {
+		return dst, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	// The member must contain no more than ISIZE bytes.
 	var one [1]byte
-	if n, _ := fr.Read(one[:]); n != 0 {
-		return fmt.Errorf("%w: block longer than ISIZE", ErrCorrupt)
+	if n, _ := inf.fr.Read(one[:]); n != 0 {
+		return dst, fmt.Errorf("%w: block longer than ISIZE", ErrCorrupt)
 	}
-	if crc32.ChecksumIEEE(r.block) != wantCRC {
-		return fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	if crc32.ChecksumIEEE(dst) != wantCRC {
+		return dst, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
 	}
-	r.pos = 0
-	r.nextStart = r.blockStart + int64(bsize)
-	r.sawEOF = isize == 0
-	if isize == 0 {
+	return dst, nil
+}
+
+// Reader decompresses a BGZF stream block by block. When the underlying
+// reader is an io.ReadSeeker, Seek to a virtual offset is supported.
+type Reader struct {
+	scan       blockScanner
+	inf        inflater
+	rs         io.ReadSeeker // non-nil when seeking is possible
+	block      []byte        // current uncompressed block
+	raw        []byte        // reusable compressed-block buffer
+	pos        int           // read position within block
+	blockStart int64         // compressed offset of current block
+	nextStart  int64         // compressed offset of next block
+	sawEOF     bool
+	err        error
+}
+
+// NewReader wraps r. When r is an io.ReadSeeker the returned reader
+// supports Seek.
+func NewReader(r io.Reader) *Reader {
+	br := &Reader{scan: blockScanner{r: r}}
+	if rs, ok := r.(io.ReadSeeker); ok {
+		br.rs = rs
+	}
+	return br
+}
+
+// Offset returns the virtual offset of the next byte Read will return.
+func (r *Reader) Offset() VOffset { return MakeVOffset(r.blockStart, r.pos) }
+
+// readBlock loads the next non-empty block into r.block. It returns
+// io.EOF at the end of the stream (after the EOF marker). Empty blocks
+// are verified and skipped in a loop — a loop, not recursion, so a
+// crafted file holding millions of consecutive empty members cannot
+// overflow the stack.
+func (r *Reader) readBlock() error {
+	for {
+		r.blockStart = r.nextStart
+		raw, bsize, err := r.scan.next(r.raw[:0])
+		r.raw = raw
+		if err == io.EOF {
+			if !r.sawEOF {
+				return ErrNoEOFMarker
+			}
+			return io.EOF
+		}
+		if err != nil {
+			return err
+		}
+		if r.block, err = r.inf.inflate(r.block[:0], raw); err != nil {
+			return err
+		}
+		r.pos = 0
+		r.nextStart = r.blockStart + int64(bsize)
+		r.sawEOF = len(r.block) == 0
+		if !r.sawEOF {
+			return nil
+		}
 		// Empty block: could be the EOF marker; keep reading — a following
 		// block resets sawEOF, trailing EOF terminates cleanly.
-		return r.readBlock()
 	}
-	return nil
 }
 
 // Read implements io.Reader over the decompressed stream.

@@ -23,6 +23,13 @@ type PreprocessResult struct {
 // format converter: BAM in, BAMX + BAIX out. The BAM format's lack of
 // record delimiters forces this phase to be sequential (Section III-B).
 func PreprocessBAMFile(bamPath, bamxPath, baixPath string) (*PreprocessResult, error) {
+	return PreprocessBAMFileWorkers(bamPath, bamxPath, baixPath, 0)
+}
+
+// PreprocessBAMFileWorkers is PreprocessBAMFile with BGZF inflation
+// running on codecWorkers goroutines: the record scan stays sequential
+// (the format forces that), but block decompression pipelines under it.
+func PreprocessBAMFileWorkers(bamPath, bamxPath, baixPath string, codecWorkers int) (*PreprocessResult, error) {
 	start := time.Now()
 	in, err := os.Open(bamPath)
 	if err != nil {
@@ -33,7 +40,7 @@ func PreprocessBAMFile(bamPath, bamxPath, baixPath string) (*PreprocessResult, e
 	if err != nil {
 		return nil, err
 	}
-	idx, err := bamx.PreprocessBAM(in, out)
+	idx, err := bamx.PreprocessBAMWorkers(in, out, codecWorkers)
 	if err != nil {
 		out.Close()
 		return nil, err
@@ -85,10 +92,11 @@ func ConvertBAMSequential(bamPath string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	br, err := newBAMToolsReader(f)
+	br, err := newBAMToolsReader(f, opts.CodecWorkers)
 	if err != nil {
 		return nil, err
 	}
+	defer br.Close()
 	start := time.Now()
 	w, err := newRankWriter(&opts, enc, br.Header(), 0)
 	if err != nil {

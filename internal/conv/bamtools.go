@@ -20,8 +20,8 @@ type bamToolsReader struct {
 	scratch sam.Record // the "BamTools memory object"
 }
 
-func newBAMToolsReader(rs io.Reader) (*bamToolsReader, error) {
-	r, err := bam.NewReader(rs)
+func newBAMToolsReader(rs io.Reader, codecWorkers int) (*bamToolsReader, error) {
+	r, err := bam.NewReader(rs, bam.WithCodecWorkers(codecWorkers))
 	if err != nil {
 		return nil, err
 	}
@@ -29,6 +29,9 @@ func newBAMToolsReader(rs io.Reader) (*bamToolsReader, error) {
 }
 
 func (b *bamToolsReader) Header() *sam.Header { return b.r.Header() }
+
+// Close releases the underlying codec's resources.
+func (b *bamToolsReader) Close() error { return b.r.Close() }
 
 // Next decodes the next alignment into the library-side object, then
 // adapts it into rec. It reports false at end of stream.

@@ -16,6 +16,12 @@ import (
 // unchanged: record indices are preserved, so an existing index keeps
 // working against the compressed file.
 func CompressBAMXFile(bamxPath, bamzPath string, recsPerBlock int) (int64, error) {
+	return CompressBAMXFileWorkers(bamxPath, bamzPath, recsPerBlock, 0)
+}
+
+// CompressBAMXFileWorkers is CompressBAMXFile with block deflation
+// fanned out over `workers` goroutines.
+func CompressBAMXFileWorkers(bamxPath, bamzPath string, recsPerBlock, workers int) (int64, error) {
 	in, err := os.Open(bamxPath)
 	if err != nil {
 		return 0, err
@@ -33,7 +39,7 @@ func CompressBAMXFile(bamxPath, bamzPath string, recsPerBlock int) (int64, error
 	if err != nil {
 		return 0, err
 	}
-	n, err := bamx.CompressBAMX(xf, out, recsPerBlock)
+	n, err := bamx.CompressBAMXWorkers(xf, out, recsPerBlock, workers)
 	if err != nil {
 		out.Close()
 		return 0, err

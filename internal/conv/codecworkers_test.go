@@ -1,0 +1,95 @@
+package conv
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The parallel BGZF codec must be invisible in the outputs: preprocessing
+// a BAM with codec workers yields byte-identical BAMX/BAIX files, and a
+// SAM→BAM conversion with codec workers yields byte-identical shards.
+func TestCodecWorkersProduceIdenticalArtifacts(t *testing.T) {
+	samPath, bamPath, _ := writeDataset(t, 400)
+	dir := t.TempDir()
+
+	seqX := filepath.Join(dir, "seq.bamx")
+	seqIx := filepath.Join(dir, "seq.baix")
+	parX := filepath.Join(dir, "par.bamx")
+	parIx := filepath.Join(dir, "par.baix")
+	if _, err := PreprocessBAMFile(bamPath, seqX, seqIx); err != nil {
+		t.Fatalf("sequential preprocess: %v", err)
+	}
+	if _, err := PreprocessBAMFileWorkers(bamPath, parX, parIx, 4); err != nil {
+		t.Fatalf("parallel preprocess: %v", err)
+	}
+	mustEqualFiles(t, seqX, parX)
+	mustEqualFiles(t, seqIx, parIx)
+
+	// BAMZ compression with deflate workers is also byte-identical.
+	seqZ := filepath.Join(dir, "seq.bamz")
+	parZ := filepath.Join(dir, "par.bamz")
+	if _, err := CompressBAMXFile(seqX, seqZ, 64); err != nil {
+		t.Fatalf("sequential compress: %v", err)
+	}
+	if _, err := CompressBAMXFileWorkers(parX, parZ, 64, 4); err != nil {
+		t.Fatalf("parallel compress: %v", err)
+	}
+	mustEqualFiles(t, seqZ, parZ)
+
+	// SAM→BAM with codec workers on the writer side, then merge with
+	// codec workers on both sides.
+	optsSeq := Options{Format: "bam", Cores: 2, OutDir: filepath.Join(dir, "s"), OutPrefix: "shard"}
+	optsPar := optsSeq
+	optsPar.OutDir = filepath.Join(dir, "p")
+	optsPar.CodecWorkers = 4
+	for _, d := range []string{optsSeq.OutDir, optsPar.OutDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resSeq, err := ConvertSAMToBAM(samPath, optsSeq)
+	if err != nil {
+		t.Fatalf("sequential SAM→BAM: %v", err)
+	}
+	resPar, err := ConvertSAMToBAM(samPath, optsPar)
+	if err != nil {
+		t.Fatalf("parallel SAM→BAM: %v", err)
+	}
+	if len(resSeq.Files) != len(resPar.Files) {
+		t.Fatalf("shard counts differ: %d vs %d", len(resSeq.Files), len(resPar.Files))
+	}
+	for i := range resSeq.Files {
+		mustEqualFiles(t, resSeq.Files[i], resPar.Files[i])
+	}
+
+	mergedSeq := filepath.Join(dir, "merged_seq.bam")
+	mergedPar := filepath.Join(dir, "merged_par.bam")
+	nSeq, err := MergeBAMShards(resSeq.Files, mergedSeq)
+	if err != nil {
+		t.Fatalf("sequential merge: %v", err)
+	}
+	nPar, err := MergeBAMShardsWorkers(resPar.Files, mergedPar, 4)
+	if err != nil {
+		t.Fatalf("parallel merge: %v", err)
+	}
+	if nSeq != nPar {
+		t.Fatalf("merged record counts differ: %d vs %d", nSeq, nPar)
+	}
+	mustEqualFiles(t, mergedSeq, mergedPar)
+}
+
+func mustEqualFiles(t *testing.T, a, b string) {
+	t.Helper()
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Errorf("%s and %s differ (%d vs %d bytes)", a, b, len(da), len(db))
+	}
+}

@@ -125,6 +125,12 @@ type Options struct {
 	// Region restricts conversion to one chromosome region (partial
 	// conversion). Only the BAMX-based converters support it.
 	Region *Region
+	// CodecWorkers is the number of BGZF codec goroutines used wherever
+	// BAM streams are read or written; 0 or 1 keeps the sequential
+	// codec. The codec parallelism is orthogonal to Cores: Cores splits
+	// records across ranks, CodecWorkers pipelines block
+	// compression/decompression under each stream.
+	CodecWorkers int
 }
 
 func (o *Options) normalize() error {
@@ -133,6 +139,9 @@ func (o *Options) normalize() error {
 	}
 	if o.Cores < 1 {
 		o.Cores = 1
+	}
+	if o.CodecWorkers < 0 {
+		o.CodecWorkers = 0
 	}
 	if o.OutDir == "" {
 		o.OutDir = "."

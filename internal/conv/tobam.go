@@ -56,7 +56,7 @@ func ConvertSAMToBAM(samPath string, opts Options) (*Result, error) {
 			convStartCh <- time.Now()
 		}
 		outPath := filepath.Join(opts.OutDir, fmt.Sprintf("%s_p%03d.bam", opts.OutPrefix, c.Rank()))
-		n, bytesOut, err := encodeSAMRangeToBAM(samPath, br, header, outPath)
+		n, bytesOut, err := encodeSAMRangeToBAM(samPath, br, header, outPath, opts.CodecWorkers)
 		if err != nil {
 			return err
 		}
@@ -78,7 +78,7 @@ func ConvertSAMToBAM(samPath string, opts Options) (*Result, error) {
 }
 
 // encodeSAMRangeToBAM encodes one text partition as a standalone BAM file.
-func encodeSAMRangeToBAM(samPath string, br partition.ByteRange, h *sam.Header, outPath string) (int64, int64, error) {
+func encodeSAMRangeToBAM(samPath string, br partition.ByteRange, h *sam.Header, outPath string, codecWorkers int) (int64, int64, error) {
 	in, err := os.Open(samPath)
 	if err != nil {
 		return 0, 0, err
@@ -89,7 +89,7 @@ func encodeSAMRangeToBAM(samPath string, br partition.ByteRange, h *sam.Header, 
 	if err != nil {
 		return 0, 0, err
 	}
-	bw, err := bam.NewWriter(out, h)
+	bw, err := bam.NewWriter(out, h, bam.WithCodecWorkers(codecWorkers))
 	if err != nil {
 		out.Close()
 		return 0, 0, err
@@ -104,16 +104,19 @@ func encodeSAMRangeToBAM(samPath string, br partition.ByteRange, h *sam.Header, 
 			continue
 		}
 		if err := sam.ParseRecordInto(&rec, line); err != nil {
+			bw.Close() // release codec workers before abandoning the shard
 			out.Close()
 			return 0, 0, err
 		}
 		if err := bw.Write(&rec); err != nil {
+			bw.Close()
 			out.Close()
 			return 0, 0, err
 		}
 		n++
 	}
 	if err := scan.Err(); err != nil {
+		bw.Close()
 		out.Close()
 		return 0, 0, err
 	}
@@ -132,6 +135,12 @@ func encodeSAMRangeToBAM(samPath string, br partition.ByteRange, h *sam.Header, 
 // MergeBAMShards fuses per-rank BAM shards (which share one header) into
 // a single BAM file, streaming records in shard order.
 func MergeBAMShards(shardPaths []string, outPath string) (int64, error) {
+	return MergeBAMShardsWorkers(shardPaths, outPath, 0)
+}
+
+// MergeBAMShardsWorkers is MergeBAMShards with both the shard decode and
+// the fused encode running codecWorkers BGZF goroutines per stream.
+func MergeBAMShardsWorkers(shardPaths []string, outPath string, codecWorkers int) (int64, error) {
 	if len(shardPaths) == 0 {
 		return 0, fmt.Errorf("conv: no shards to merge")
 	}
@@ -145,52 +154,56 @@ func MergeBAMShards(shardPaths []string, outPath string) (int64, error) {
 		return 0, err
 	}
 	header := firstReader.Header()
+	firstReader.Close()
 	first.Close()
 
 	out, err := os.Create(outPath)
 	if err != nil {
 		return 0, err
 	}
-	bw, err := bam.NewWriter(out, header)
+	bw, err := bam.NewWriter(out, header, bam.WithCodecWorkers(codecWorkers))
 	if err != nil {
 		out.Close()
 		return 0, err
 	}
 	var total int64
 	var rec sam.Record
+	fail := func(f *os.File, r *bam.Reader, err error) (int64, error) {
+		if r != nil {
+			r.Close()
+		}
+		if f != nil {
+			f.Close()
+		}
+		bw.Close()
+		out.Close()
+		return total, err
+	}
 	for _, shard := range shardPaths {
 		f, err := os.Open(shard)
 		if err != nil {
-			out.Close()
-			return total, err
+			return fail(nil, nil, err)
 		}
-		r, err := bam.NewReader(f)
+		r, err := bam.NewReader(f, bam.WithCodecWorkers(codecWorkers))
 		if err != nil {
-			f.Close()
-			out.Close()
-			return total, err
+			return fail(f, nil, err)
 		}
 		if len(r.Header().Refs) != len(header.Refs) {
-			f.Close()
-			out.Close()
-			return total, fmt.Errorf("conv: shard %s has %d references, expected %d",
-				shard, len(r.Header().Refs), len(header.Refs))
+			return fail(f, r, fmt.Errorf("conv: shard %s has %d references, expected %d",
+				shard, len(r.Header().Refs), len(header.Refs)))
 		}
 		for {
 			if err := r.ReadInto(&rec); err == io.EOF {
 				break
 			} else if err != nil {
-				f.Close()
-				out.Close()
-				return total, err
+				return fail(f, r, err)
 			}
 			if err := bw.Write(&rec); err != nil {
-				f.Close()
-				out.Close()
-				return total, err
+				return fail(f, r, err)
 			}
 			total++
 		}
+		r.Close()
 		f.Close()
 	}
 	if err := bw.Close(); err != nil {

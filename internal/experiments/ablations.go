@@ -79,7 +79,7 @@ func Ablations(sc Scale) (*Report, error) {
 	// 2. Partial conversion: BAIX index vs full scan with filter.
 	bamxPath := filepath.Join(sc.TmpDir, "abl.bamx")
 	baixPath := filepath.Join(sc.TmpDir, "abl.baix")
-	if _, err := conv.PreprocessBAMFile(bamPath, bamxPath, baixPath); err != nil {
+	if _, err := conv.PreprocessBAMFileWorkers(bamPath, bamxPath, baixPath, sc.CodecWorkers); err != nil {
 		return nil, err
 	}
 	region := &conv.Region{RName: "chr1", Beg: 1, End: 40000}
@@ -150,7 +150,7 @@ func Ablations(sc Scale) (*Report, error) {
 
 	// 5. Plain vs compressed BAMX conversion.
 	bamzPath := filepath.Join(sc.TmpDir, "abl.bamz")
-	if _, err := conv.CompressBAMXFile(bamxPath, bamzPath, 512); err != nil {
+	if _, err := conv.CompressBAMXFileWorkers(bamxPath, bamzPath, 512, sc.CodecWorkers); err != nil {
 		return nil, err
 	}
 	plain, err := measure(func() error {

@@ -14,13 +14,17 @@ import (
 // speedup shapes do not depend on the absolute size (compute and I/O
 // shrink together).
 type Scale struct {
-	Reads    int    // alignment records per generated dataset
-	Bins     int    // histogram bins for the statistical experiments
-	Sims     int    // FDR simulation datasets (paper: 80)
-	TmpDir   string // scratch directory; "" uses a fresh temp dir
-	KeepTmp  bool   // leave scratch files behind for inspection
-	Machine  cluster.Machine
-	coresFig []int // core counts for the figure sweeps
+	Reads   int    // alignment records per generated dataset
+	Bins    int    // histogram bins for the statistical experiments
+	Sims    int    // FDR simulation datasets (paper: 80)
+	TmpDir  string // scratch directory; "" uses a fresh temp dir
+	KeepTmp bool   // leave scratch files behind for inspection
+	// CodecWorkers is the number of BGZF/deflate codec goroutines the
+	// measured BAM preprocessing and BAMZ compression steps use; 0 or 1
+	// keeps the sequential codec (the paper's configuration).
+	CodecWorkers int
+	Machine      cluster.Machine
+	coresFig     []int // core counts for the figure sweeps
 }
 
 // DefaultScale is sized so the full suite finishes in a couple of

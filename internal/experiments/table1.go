@@ -113,7 +113,7 @@ func Table1(sc Scale) (*Report, error) {
 	}
 	bamxPath := filepath.Join(outDir, "t1.bamx")
 	baixPath := filepath.Join(outDir, "t1.baix")
-	if _, err := conv.PreprocessBAMFile(bamPath, bamxPath, baixPath); err != nil {
+	if _, err := conv.PreprocessBAMFileWorkers(bamPath, bamxPath, baixPath, sc.CodecWorkers); err != nil {
 		return nil, err
 	}
 	withPreBAM, err := bestOf(func() (time.Duration, error) {

@@ -1,0 +1,97 @@
+// Package parpipe provides a bounded, order-preserving parallel
+// pipeline: jobs fan out to a fixed pool of workers and are delivered
+// back in submission order. It is the concurrency skeleton shared by
+// the parallel BGZF codec and the BAMZ block compressor — both exploit
+// the same structure, independent blocks that must be reassembled in
+// stream order.
+//
+// The pipeline is deliberately minimal: it moves jobs, it does not
+// interpret them. Jobs carry their own payloads, results and errors;
+// the consumer sees jobs exactly in the order they were submitted, so
+// "first error in stream order" falls out of the delivery order for
+// free.
+package parpipe
+
+import "sync"
+
+// ticket pairs a job with its completion signal. The done channel is
+// buffered so a worker never blocks handing off a finished job.
+type ticket[J any] struct {
+	job  J
+	done chan struct{}
+}
+
+// Pipe fans submitted jobs out to workers and yields them, processed,
+// in submission order on Out. Submit blocks while the pipeline is full,
+// bounding memory to roughly depth in-flight jobs.
+type Pipe[J any] struct {
+	fn      func(J)
+	work    chan *ticket[J]
+	order   chan *ticket[J]
+	out     chan J
+	tickets sync.Pool
+	wg      sync.WaitGroup
+}
+
+// New starts a pipeline of `workers` goroutines applying fn to each
+// submitted job. depth bounds the number of in-flight jobs; it is
+// raised to workers when smaller so the pool can actually fill.
+func New[J any](workers, depth int, fn func(J)) *Pipe[J] {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < workers {
+		depth = workers
+	}
+	p := &Pipe[J]{
+		fn:    fn,
+		work:  make(chan *ticket[J], depth),
+		order: make(chan *ticket[J], depth),
+		out:   make(chan J, depth),
+	}
+	p.tickets.New = func() any { return &ticket[J]{done: make(chan struct{}, 1)} }
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range p.work {
+				p.fn(t.job)
+				t.done <- struct{}{}
+			}
+		}()
+	}
+	go func() {
+		for t := range p.order {
+			<-t.done
+			j := t.job
+			var zero J
+			t.job = zero
+			p.tickets.Put(t)
+			p.out <- j
+		}
+		p.wg.Wait()
+		close(p.out)
+	}()
+	return p
+}
+
+// Submit enqueues one job. It blocks while the pipeline holds depth
+// unfinished jobs, and must not be called after Close.
+func (p *Pipe[J]) Submit(j J) {
+	t := p.tickets.Get().(*ticket[J])
+	t.job = j
+	p.order <- t
+	p.work <- t
+}
+
+// Out delivers processed jobs in submission order. The channel is
+// closed after Close once every submitted job has been delivered, so a
+// plain range drains the pipeline.
+func (p *Pipe[J]) Out() <-chan J { return p.out }
+
+// Close marks the input complete. Out keeps delivering the jobs already
+// submitted, then closes.
+func (p *Pipe[J]) Close() {
+	close(p.work)
+	close(p.order)
+}

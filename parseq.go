@@ -101,6 +101,14 @@ func PreprocessBAM(bamPath, bamxPath, baixPath string) (*PreprocessResult, error
 	return conv.PreprocessBAMFile(bamPath, bamxPath, baixPath)
 }
 
+// PreprocessBAMWorkers is PreprocessBAM with BGZF block inflation
+// pipelined over codecWorkers goroutines. The record scan itself stays
+// sequential — the BAM format forces that — but the codec underneath it
+// parallelises, which is where most of the preprocessing time goes.
+func PreprocessBAMWorkers(bamPath, bamxPath, baixPath string, codecWorkers int) (*PreprocessResult, error) {
+	return conv.PreprocessBAMFileWorkers(bamPath, bamxPath, baixPath, codecWorkers)
+}
+
 // ConvertBAMX runs the parallel conversion phase over a BAMX file.
 // With opts.Region set, the BAIX index maps the region to a contiguous
 // record range first (partial conversion); baixPath may be empty to
@@ -139,11 +147,23 @@ func MergeBAMShards(shardPaths []string, outPath string) (int64, error) {
 	return conv.MergeBAMShards(shardPaths, outPath)
 }
 
+// MergeBAMShardsWorkers is MergeBAMShards with codecWorkers BGZF
+// goroutines on both the shard decode and the fused encode.
+func MergeBAMShardsWorkers(shardPaths []string, outPath string, codecWorkers int) (int64, error) {
+	return conv.MergeBAMShardsWorkers(shardPaths, outPath, codecWorkers)
+}
+
 // CompressBAMX rewrites a plain BAMX file as the block-compressed BAMZ
 // variant (the paper's Section VII compression extension), preserving
 // record indices so existing BAIX indices keep working.
 func CompressBAMX(bamxPath, bamzPath string, recsPerBlock int) (int64, error) {
 	return conv.CompressBAMXFile(bamxPath, bamzPath, recsPerBlock)
+}
+
+// CompressBAMXWorkers is CompressBAMX with block deflation fanned out
+// over `workers` goroutines; the output is byte-identical.
+func CompressBAMXWorkers(bamxPath, bamzPath string, recsPerBlock, workers int) (int64, error) {
+	return conv.CompressBAMXFileWorkers(bamxPath, bamzPath, recsPerBlock, workers)
 }
 
 // ConvertBAMZ is ConvertBAMX for compressed BAMX files: each rank
