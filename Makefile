@@ -1,10 +1,11 @@
 # parseq build/test entry points. `make ci` is the gate every change
-# must pass: vet, formatting, build, the full race-enabled test suite,
-# and a one-iteration smoke run of the BGZF codec benchmarks.
+# must pass: vet, staticcheck (when installed), formatting, build, the
+# full race-enabled test suite, a one-iteration smoke run of the BGZF
+# codec and obs-overhead benchmarks, and the metrics-schema smoke test.
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench-smoke ci
+.PHONY: all build test race vet staticcheck fmt-check bench-smoke metrics-smoke ci
 
 all: build
 
@@ -20,16 +21,33 @@ race:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional tooling: run it when the binary is on PATH,
+# otherwise skip with a notice (CI images without it must still pass).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping"; \
+	fi
+
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# One iteration of every BGZF benchmark (sequential + parallel sweeps):
-# catches benchmark bit-rot without paying for a real measurement run.
+# One iteration of the BGZF benchmarks (sequential + parallel sweeps)
+# and the disabled-telemetry overhead guard: catches benchmark bit-rot
+# without paying for a real measurement run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkBGZF' -benchtime 1x ./internal/bgzf
+	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchtime 1x ./internal/obs
 
-ci: vet fmt-check build race bench-smoke
+# End-to-end telemetry check: a real conversion run must produce a
+# metrics snapshot with the documented schema (MPI wait, codec
+# pipeline gauges, phase walls) and a non-empty trace.
+metrics-smoke:
+	$(GO) test -run 'TestMetricsSchema' -count=1 ./internal/obsflag
+
+ci: vet staticcheck fmt-check build race bench-smoke metrics-smoke
 	@echo "ci: all checks passed"

@@ -20,10 +20,14 @@ import (
 
 	"parseq"
 	"parseq/internal/bamx"
+	"parseq/internal/obsflag"
 	"parseq/internal/sam"
 )
 
-var workers = flag.Int("w", 0, "compression worker goroutines (compress only; 0 or 1: sequential)")
+var (
+	workers  = flag.Int("w", 0, "compression worker goroutines (compress only; 0 or 1: sequential)")
+	obsFlags = obsflag.Register(nil)
+)
 
 func main() {
 	flag.Usage = usage
@@ -32,6 +36,15 @@ func main() {
 	if len(args) < 2 {
 		usage()
 	}
+	obsSession, err := obsFlags.Start()
+	if err != nil {
+		die(err)
+	}
+	defer func() {
+		if err := obsSession.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bamxtool:", err)
+		}
+	}()
 	cmd, path := args[0], args[1]
 	switch cmd {
 	case "info":

@@ -18,19 +18,31 @@ import (
 
 	"parseq"
 	"parseq/internal/experiments"
+	"parseq/internal/obsflag"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all, "+strings.Join(parseq.Experiments(), ", "))
-		reads = flag.Int("reads", 0, "alignment records in the measured dataset")
-		bins  = flag.Int("bins", 0, "histogram bins for the statistical experiments")
-		sims  = flag.Int("sims", 0, "FDR simulation datasets")
-		tmp   = flag.String("tmpdir", "", "scratch directory (default: a fresh temp dir)")
-		keep  = flag.Bool("keep", false, "keep scratch files")
-		codec = flag.Int("codec-workers", 0, "BGZF codec goroutines for BAM/BAMZ steps (0 or 1: sequential codec)")
+		exp      = flag.String("exp", "all", "experiment: all, "+strings.Join(parseq.Experiments(), ", "))
+		reads    = flag.Int("reads", 0, "alignment records in the measured dataset")
+		bins     = flag.Int("bins", 0, "histogram bins for the statistical experiments")
+		sims     = flag.Int("sims", 0, "FDR simulation datasets")
+		tmp      = flag.String("tmpdir", "", "scratch directory (default: a fresh temp dir)")
+		keep     = flag.Bool("keep", false, "keep scratch files")
+		codec    = flag.Int("codec-workers", 0, "BGZF codec goroutines for BAM/BAMZ steps (0 or 1: sequential codec)")
+		obsFlags = obsflag.Register(nil)
 	)
 	flag.Parse()
+
+	obsSession, err := obsFlags.Start()
+	if err != nil {
+		die(err)
+	}
+	defer func() {
+		if err := obsSession.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ngsbench:", err)
+		}
+	}()
 
 	sc := experiments.DefaultScale()
 	if *reads > 0 {

@@ -12,15 +12,18 @@ import (
 	"os"
 	"strings"
 
+	"parseq/internal/obsflag"
 	"parseq/internal/sorter"
 )
 
 func main() {
 	var (
-		in    = flag.String("in", "", "input file (.sam or .bam)")
-		out   = flag.String("out", "", "output BAM (default: input with .sorted.bam)")
-		cores = flag.Int("p", 1, "parallel chunk-sort workers")
-		chunk = flag.Int("chunk", 0, "records per in-memory chunk (default 100000)")
+		in       = flag.String("in", "", "input file (.sam or .bam)")
+		out      = flag.String("out", "", "output BAM (default: input with .sorted.bam)")
+		cores    = flag.Int("p", 1, "parallel chunk-sort workers")
+		chunk    = flag.Int("chunk", 0, "records per in-memory chunk (default 100000)")
+		codec    = flag.Int("codec-workers", 0, "BGZF codec goroutines per BAM stream (0 or 1: sequential codec)")
+		obsFlags = obsflag.Register(nil)
 	)
 	flag.Parse()
 	if *in == "" {
@@ -32,11 +35,18 @@ func main() {
 	if dst == "" {
 		dst = strings.TrimSuffix(strings.TrimSuffix(*in, ".sam"), ".bam") + ".sorted.bam"
 	}
-	opts := sorter.Options{ChunkRecords: *chunk, Cores: *cores}
-	var (
-		n   int64
-		err error
-	)
+	obsSession, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samsort:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := obsSession.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "samsort:", err)
+		}
+	}()
+	opts := sorter.Options{ChunkRecords: *chunk, Cores: *cores, CodecWorkers: *codec}
+	var n int64
 	switch {
 	case strings.HasSuffix(*in, ".sam"):
 		n, err = sorter.SortSAMToBAM(*in, dst, opts)

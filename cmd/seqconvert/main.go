@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"parseq"
+	"parseq/internal/obsflag"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		preCores  = flag.Int("pre-p", 0, "preprocessing ranks for the psam converter (default: -p)")
 		baix      = flag.String("baix", "", "BAIX index path (default: input with .baix)")
 		codecWork = flag.Int("codec-workers", 0, "BGZF codec goroutines per BAM stream (0 or 1: sequential codec)")
+		obsFlags  = obsflag.Register(nil)
 	)
 	flag.Parse()
 	if *in == "" {
@@ -42,6 +44,15 @@ func main() {
 	if *preCores == 0 {
 		*preCores = *cores
 	}
+	obsSession, err := obsFlags.Start()
+	if err != nil {
+		die(err)
+	}
+	defer func() {
+		if err := obsSession.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "seqconvert:", err)
+		}
+	}()
 
 	kind := *converter
 	if kind == "auto" {
@@ -95,10 +106,7 @@ func main() {
 		return
 	}
 
-	var (
-		res *parseq.Result
-		err error
-	)
+	var res *parseq.Result
 	switch kind {
 	case "sam":
 		if opts.Format == "bam" {
@@ -107,8 +115,12 @@ func main() {
 		}
 		res, err = parseq.ConvertSAM(*in, opts)
 	case "bam":
-		// Sequential direct conversion; for parallel BAM conversion run
-		// -preprocess first and convert the .bamx.
+		if *cores > 1 {
+			// The complete BAM format converter: sequential preprocessing
+			// into a temporary BAMX/BAIX pair, then parallel conversion.
+			res, err = parseq.ConvertBAM(*in, opts)
+			break
+		}
 		res, err = parseq.ConvertBAMSequential(*in, opts)
 	case "bamx":
 		ix := *baix

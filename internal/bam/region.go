@@ -33,10 +33,19 @@ func bodySpan(body []byte) (refID int32, beg, end int) {
 // BuildFileIndex scans a coordinate-sorted BAM stream and builds its BAI
 // index. The stream is consumed; callers reopen or seek to read again.
 func BuildFileIndex(r io.Reader) (*Index, error) {
-	br, err := NewReader(r)
+	return BuildFileIndexWorkers(r, 0)
+}
+
+// BuildFileIndexWorkers is BuildFileIndex with BGZF inflation pipelined
+// over `workers` codec goroutines (≤ 1 keeps the sequential codec). The
+// scan itself stays sequential — virtual offsets must be observed in
+// stream order — but block decompression parallelises under it.
+func BuildFileIndexWorkers(r io.Reader, workers int) (*Index, error) {
+	br, err := NewReader(r, WithCodecWorkers(workers))
 	if err != nil {
 		return nil, err
 	}
+	defer br.Close()
 	idx := NewIndex(len(br.Header().Refs))
 	lastRef, lastPos := int32(-1), -1
 	for {

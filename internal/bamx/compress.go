@@ -8,7 +8,10 @@ import (
 	"io"
 	"sync"
 
+	"time"
+
 	"parseq/internal/bam"
+	"parseq/internal/obs"
 	"parseq/internal/parpipe"
 	"parseq/internal/sam"
 )
@@ -74,6 +77,13 @@ type CompressedWriter struct {
 	defPool sync.Pool // *flate.Writer per worker job
 	mu      sync.Mutex
 	perr    error // first error in stream order (deflate or sink)
+
+	// Telemetry (nil when disabled): block/byte throughput and per-block
+	// deflate latency under the bamz.deflate.* prefix.
+	metBlocks   *obs.Counter
+	metBytesIn  *obs.Counter
+	metBytesOut *obs.Counter
+	metLatency  *obs.Histogram
 }
 
 // zblock is one BAMZ block moving through the parallel pipeline.
@@ -129,9 +139,15 @@ func NewCompressedWriterWorkers(w io.Writer, h *sam.Header, caps Caps, recsPerBl
 		block:        make([]byte, 0, recsPerBlock*stride),
 		written:      int64(len(hdr)),
 	}
+	if reg := obs.Default(); reg != nil {
+		cw.metBlocks = reg.Counter("bamz.deflate.blocks")
+		cw.metBytesIn = reg.Counter("bamz.deflate.bytes_in")
+		cw.metBytesOut = reg.Counter("bamz.deflate.bytes_out")
+		cw.metLatency = reg.Histogram("bamz.deflate.latency_ns")
+	}
 	if workers > 1 {
 		cw.blkPool.New = func() any { return make([]byte, 0, recsPerBlock*stride) }
-		cw.pipe = parpipe.New(workers, 4*workers, cw.deflateBlock)
+		cw.pipe = parpipe.NewObserved(workers, 4*workers, cw.deflateBlock, obs.Default(), "bamz.deflate")
 		cw.drained = make(chan struct{})
 		go cw.drain()
 	}
@@ -140,6 +156,17 @@ func NewCompressedWriterWorkers(w io.Writer, h *sam.Header, caps Caps, recsPerBl
 
 // deflateBlock is the worker function: compress one block's raw bytes.
 func (w *CompressedWriter) deflateBlock(b *zblock) {
+	if w.metLatency != nil {
+		t0 := time.Now()
+		defer func() {
+			w.metLatency.Observe(time.Since(t0).Nanoseconds())
+			w.metBlocks.Add(1)
+			w.metBytesIn.Add(int64(len(b.raw)))
+			if b.err == nil {
+				w.metBytesOut.Add(int64(b.comp.Len()))
+			}
+		}()
+	}
 	fw, _ := w.defPool.Get().(*flate.Writer)
 	if fw == nil {
 		var err error
@@ -246,6 +273,10 @@ func (w *CompressedWriter) flushBlock() error {
 		w.pipe.Submit(&zblock{raw: raw})
 		return nil
 	}
+	var t0 time.Time
+	if w.metLatency != nil {
+		t0 = time.Now()
+	}
 	w.offsets = append(w.offsets, uint64(w.written))
 	w.scratch.Reset()
 	if w.fw == nil {
@@ -265,6 +296,12 @@ func (w *CompressedWriter) flushBlock() error {
 	if err := w.fw.Close(); err != nil {
 		w.err = err
 		return err
+	}
+	if w.metLatency != nil {
+		w.metLatency.Observe(time.Since(t0).Nanoseconds())
+		w.metBlocks.Add(1)
+		w.metBytesIn.Add(int64(len(w.block)))
+		w.metBytesOut.Add(int64(w.scratch.Len()))
 	}
 	n, err := w.w.Write(w.scratch.Bytes())
 	if err != nil {

@@ -16,9 +16,36 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"parseq/internal/obs"
 	"parseq/internal/parpipe"
 )
+
+// codecObs bundles one direction's telemetry handles: block and byte
+// throughput counters plus a per-block latency histogram. A nil codecObs
+// keeps the codec's hot path free of time.Now calls.
+type codecObs struct {
+	blocks   *obs.Counter
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+	latency  *obs.Histogram
+}
+
+// newCodecObs registers the bgzf.<dir>.* metrics, or returns nil when
+// telemetry is disabled.
+func newCodecObs(reg *obs.Registry, dir string) *codecObs {
+	if reg == nil {
+		return nil
+	}
+	prefix := "bgzf." + dir
+	return &codecObs{
+		blocks:   reg.Counter(prefix + ".blocks"),
+		bytesIn:  reg.Counter(prefix + ".bytes_in"),
+		bytesOut: reg.Counter(prefix + ".bytes_out"),
+		latency:  reg.Histogram(prefix + ".latency_ns"),
+	}
+}
 
 // resolveWorkers applies the worker-count convention shared by the
 // parallel codec constructors: n > 0 is taken as given, anything else
@@ -70,6 +97,8 @@ type ParallelWriter struct {
 	closed    bool
 
 	drained chan struct{}
+
+	met *codecObs // nil when telemetry is disabled
 }
 
 // NewParallelWriter returns a parallel BGZF writer using the default
@@ -95,7 +124,9 @@ func NewParallelWriterLevel(w io.Writer, level, payload, workers int) *ParallelW
 	pw.cond = sync.NewCond(&pw.mu)
 	pw.blkPool.New = func() any { return &wblock{} }
 	pw.defPool.New = func() any { return &deflator{} }
-	pw.pipe = parpipe.New(workers, pipeDepth(workers), pw.compress)
+	reg := obs.Default()
+	pw.met = newCodecObs(reg, "deflate")
+	pw.pipe = parpipe.NewObserved(workers, pipeDepth(workers), pw.compress, reg, "bgzf.deflate")
 	go pw.drain()
 	return pw
 }
@@ -104,9 +135,21 @@ func NewParallelWriterLevel(w io.Writer, level, payload, workers int) *ParallelW
 // The compressed size is accounted as soon as it is known so Offset can
 // resolve without waiting for the block to reach the underlying writer.
 func (w *ParallelWriter) compress(b *wblock) {
+	var t0 time.Time
+	if w.met != nil {
+		t0 = time.Now()
+	}
 	d := w.defPool.Get().(*deflator)
 	b.block, b.err = d.wrap(b.block[:0], b.payload, w.level)
 	w.defPool.Put(d)
+	if w.met != nil {
+		w.met.latency.Observe(time.Since(t0).Nanoseconds())
+		w.met.blocks.Add(1)
+		w.met.bytesIn.Add(int64(len(b.payload)))
+		if b.err == nil {
+			w.met.bytesOut.Add(int64(len(b.block)))
+		}
+	}
 	w.mu.Lock()
 	if b.err == nil {
 		w.offset += int64(len(b.block))
@@ -296,6 +339,9 @@ type ParallelReader struct {
 
 	blkPool sync.Pool // *rblock, recycled raw+data buffers
 	infPool sync.Pool // *inflater, one per active worker
+
+	reg *obs.Registry // registry at construction time (may be nil)
+	met *codecObs     // nil when telemetry is disabled
 }
 
 // NewParallelReader wraps r with a pool of `workers` inflate workers
@@ -308,6 +354,8 @@ func NewParallelReader(r io.Reader, workers int) *ParallelReader {
 	}
 	pr.blkPool.New = func() any { return &rblock{} }
 	pr.infPool.New = func() any { return &inflater{} }
+	pr.reg = obs.Default()
+	pr.met = newCodecObs(pr.reg, "inflate")
 	pr.start(0)
 	return pr
 }
@@ -316,7 +364,7 @@ func NewParallelReader(r io.Reader, workers int) *ParallelReader {
 // compressed offset `at`.
 func (r *ParallelReader) start(at int64) {
 	stop := &atomic.Bool{}
-	pipe := parpipe.New(r.workers, pipeDepth(r.workers), r.inflateBlock)
+	pipe := parpipe.NewObserved(r.workers, pipeDepth(r.workers), r.inflateBlock, r.reg, "bgzf.inflate")
 	r.stop = stop
 	r.pipe = pipe
 	go r.scanLoop(pipe, stop, at)
@@ -366,9 +414,21 @@ func (r *ParallelReader) inflateBlock(blk *rblock) {
 	if blk.err != nil {
 		return
 	}
+	var t0 time.Time
+	if r.met != nil {
+		t0 = time.Now()
+	}
 	inf := r.infPool.Get().(*inflater)
 	blk.data, blk.err = inf.inflate(blk.data[:0], blk.raw)
 	r.infPool.Put(inf)
+	if r.met != nil {
+		r.met.latency.Observe(time.Since(t0).Nanoseconds())
+		r.met.blocks.Add(1)
+		r.met.bytesIn.Add(int64(len(blk.raw)))
+		if blk.err == nil {
+			r.met.bytesOut.Add(int64(len(blk.data)))
+		}
+	}
 }
 
 // recycle returns a finished block's buffers to the pool.

@@ -3,11 +3,13 @@ package conv
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"parseq/internal/bamx"
 	"parseq/internal/formats"
 	"parseq/internal/mpi"
+	"parseq/internal/obs"
 	"parseq/internal/sam"
 )
 
@@ -31,6 +33,8 @@ func PreprocessBAMFile(bamPath, bamxPath, baixPath string) (*PreprocessResult, e
 // (the format forces that), but block decompression pipelines under it.
 func PreprocessBAMFileWorkers(bamPath, bamxPath, baixPath string, codecWorkers int) (*PreprocessResult, error) {
 	start := time.Now()
+	sp := obs.Default().StartSpan(0, 0, "preprocess")
+	defer sp.End()
 	in, err := os.Open(bamPath)
 	if err != nil {
 		return nil, err
@@ -97,7 +101,8 @@ func ConvertBAMSequential(bamPath string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	defer br.Close()
-	start := time.Now()
+	ph := obs.NewPhaseSet(obs.Default())
+	csp := ph.Start(0, "convert")
 	w, err := newRankWriter(&opts, enc, br.Header(), 0)
 	if err != nil {
 		return nil, err
@@ -131,7 +136,8 @@ func ConvertBAMSequential(bamPath string, opts Options) (*Result, error) {
 	if err := w.close(); err != nil {
 		return nil, err
 	}
-	res.Stats.ConvertTime = time.Since(start)
+	csp.End()
+	res.Stats.ConvertTime = ph.Wall("convert")
 	return &res, nil
 }
 
@@ -164,7 +170,8 @@ func ConvertBAMX(bamxPath, baixPath string, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	partStart := time.Now()
+	ph := obs.NewPhaseSet(obs.Default())
+	psp := ph.Start(0, "partition")
 	// The unit of partitioning: either every record, or the BAIX region's
 	// entries for partial conversion.
 	var regionEntries []bamx.Entry
@@ -193,13 +200,14 @@ func ConvertBAMX(bamxPath, baixPath string, opts Options) (*Result, error) {
 	if useRegion {
 		count = len(regionEntries)
 	}
-	partDur := time.Since(partStart)
+	psp.End()
 
 	var res Result
 	res.Files = make([]string, opts.Cores)
 	var tally counters
-	convStart := time.Now()
 	err = mpi.Run(opts.Cores, func(c *mpi.Comm) error {
+		csp := ph.Start(c.Rank(), "convert")
+		defer csp.End()
 		lo, hi := c.SplitRange(count)
 		stats, err := convertBAMXRange(bamxPath, regionEntries, useRegion, lo, hi, enc, &opts, c.Rank())
 		if err != nil {
@@ -215,10 +223,39 @@ func ConvertBAMX(bamxPath, baixPath string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.PartitionTime = partDur
-	res.Stats.ConvertTime = time.Since(convStart)
+	res.Stats.PartitionTime = ph.Wall("partition")
+	res.Stats.ConvertTime = ph.Wall("convert")
 	tally.into(&res.Stats)
 	return &res, nil
+}
+
+// ConvertBAM is the complete BAM format converter of Section III-B:
+// sequential preprocessing into a temporary BAMX/BAIX pair, then
+// embarrassingly parallel conversion of the fixed-stride file. The
+// temporary files live under OutDir (same filesystem as the output) and
+// are removed when the conversion finishes. PreprocessTime carries the
+// sequential phase separately, as the paper reports it.
+func ConvertBAM(bamPath string, opts Options) (*Result, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	tmpDir, err := os.MkdirTemp(opts.OutDir, ".parseq-pre-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmpDir)
+	bamxPath := filepath.Join(tmpDir, "pre.bamx")
+	baixPath := filepath.Join(tmpDir, "pre.baix")
+	pre, err := PreprocessBAMFileWorkers(bamPath, bamxPath, baixPath, opts.CodecWorkers)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ConvertBAMX(bamxPath, baixPath, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.PreprocessTime = pre.Duration
+	return res, nil
 }
 
 // loadOrBuildIndex reads the BAIX file, falling back to a rebuild scan.

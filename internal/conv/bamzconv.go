@@ -3,11 +3,11 @@ package conv
 import (
 	"fmt"
 	"os"
-	"time"
 
 	"parseq/internal/bamx"
 	"parseq/internal/formats"
 	"parseq/internal/mpi"
+	"parseq/internal/obs"
 	"parseq/internal/sam"
 )
 
@@ -72,7 +72,8 @@ func ConvertBAMZ(bamzPath, baixPath string, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	partStart := time.Now()
+	ph := obs.NewPhaseSet(obs.Default())
+	psp := ph.Start(0, "partition")
 	var regionEntries []bamx.Entry
 	useRegion := false
 	if opts.Region != nil {
@@ -99,13 +100,14 @@ func ConvertBAMZ(bamzPath, baixPath string, opts Options) (*Result, error) {
 	if useRegion {
 		count = len(regionEntries)
 	}
-	partDur := time.Since(partStart)
+	psp.End()
 
 	var res Result
 	res.Files = make([]string, opts.Cores)
 	var tally counters
-	convStart := time.Now()
 	err = mpi.Run(opts.Cores, func(c *mpi.Comm) error {
+		csp := ph.Start(c.Rank(), "convert")
+		defer csp.End()
 		lo, hi := c.SplitRange(count)
 		stats, err := convertBAMZRange(bamzPath, regionEntries, useRegion, lo, hi, enc, &opts, c.Rank())
 		if err != nil {
@@ -121,8 +123,8 @@ func ConvertBAMZ(bamzPath, baixPath string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.PartitionTime = partDur
-	res.Stats.ConvertTime = time.Since(convStart)
+	res.Stats.PartitionTime = ph.Wall("partition")
+	res.Stats.ConvertTime = ph.Wall("convert")
 	tally.into(&res.Stats)
 	return &res, nil
 }

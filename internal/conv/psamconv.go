@@ -10,6 +10,7 @@ import (
 
 	"parseq/internal/bamx"
 	"parseq/internal/mpi"
+	"parseq/internal/obs"
 	"parseq/internal/partition"
 	"parseq/internal/sam"
 )
@@ -47,11 +48,16 @@ func PreprocessSAMParallel(samPath, outDir, prefix string, cores int) (*Preproce
 		BAIXFiles: make([]string, cores),
 	}
 	var tally counters
+	ph := obs.NewPhaseSet(obs.Default())
 	err = mpi.Run(cores, func(c *mpi.Comm) error {
+		psp := ph.Start(c.Rank(), "partition")
 		br, err := partition.SAMForwardMPI(c, f, dataStart, fi.Size())
+		psp.End()
 		if err != nil {
 			return err
 		}
+		esp := ph.Start(c.Rank(), "preprocess")
+		defer esp.End()
 		bamxPath := filepath.Join(outDir, fmt.Sprintf("%s_m%03d.bamx", prefix, c.Rank()))
 		baixPath := filepath.Join(outDir, fmt.Sprintf("%s_m%03d.baix", prefix, c.Rank()))
 		n, err := preprocessSAMRange(samPath, br, header, bamxPath, baixPath)

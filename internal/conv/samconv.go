@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
 
 	"parseq/internal/formats"
 	"parseq/internal/mpi"
+	"parseq/internal/obs"
 	"parseq/internal/partition"
 	"parseq/internal/sam"
 )
@@ -88,16 +88,19 @@ func ConvertSAM(samPath string, opts Options) (*Result, error) {
 	res.Files = make([]string, opts.Cores)
 	var tally counters
 
-	partStart := time.Now()
-	convStartCh := make(chan time.Time, 1)
+	// Phase spans carry the timing decomposition on every rank, not just
+	// rank 0: PartitionTime/ConvertTime are the spans' wall-clock windows
+	// across ranks, and the same spans land in the trace when enabled.
+	ph := obs.NewPhaseSet(obs.Default())
 	err = mpi.Run(opts.Cores, func(c *mpi.Comm) error {
+		psp := ph.Start(c.Rank(), "partition")
 		br, err := partition.SAMForwardMPI(c, f, dataStart, fi.Size())
+		psp.End()
 		if err != nil {
 			return err
 		}
-		if c.Rank() == 0 {
-			convStartCh <- time.Now()
-		}
+		csp := ph.Start(c.Rank(), "convert")
+		defer csp.End()
 		stats, err := convertSAMRange(samPath, br, header, enc, &opts, c.Rank())
 		if err != nil {
 			return err
@@ -112,9 +115,8 @@ func ConvertSAM(samPath string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	convStart := <-convStartCh
-	res.Stats.PartitionTime = convStart.Sub(partStart)
-	res.Stats.ConvertTime = time.Since(convStart)
+	res.Stats.PartitionTime = ph.Wall("partition")
+	res.Stats.ConvertTime = ph.Wall("convert")
 	tally.into(&res.Stats)
 	return &res, nil
 }

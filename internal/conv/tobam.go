@@ -5,12 +5,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"time"
 
 	"bufio"
 
 	"parseq/internal/bam"
 	"parseq/internal/mpi"
+	"parseq/internal/obs"
 	"parseq/internal/partition"
 	"parseq/internal/sam"
 )
@@ -45,16 +45,16 @@ func ConvertSAMToBAM(samPath string, opts Options) (*Result, error) {
 	var res Result
 	res.Files = make([]string, opts.Cores)
 	var tally counters
-	partStart := time.Now()
-	convStartCh := make(chan time.Time, 1)
+	ph := obs.NewPhaseSet(obs.Default())
 	err = mpi.Run(opts.Cores, func(c *mpi.Comm) error {
+		psp := ph.Start(c.Rank(), "partition")
 		br, err := partition.SAMForwardMPI(c, f, dataStart, fi.Size())
+		psp.End()
 		if err != nil {
 			return err
 		}
-		if c.Rank() == 0 {
-			convStartCh <- time.Now()
-		}
+		csp := ph.Start(c.Rank(), "convert")
+		defer csp.End()
 		outPath := filepath.Join(opts.OutDir, fmt.Sprintf("%s_p%03d.bam", opts.OutPrefix, c.Rank()))
 		n, bytesOut, err := encodeSAMRangeToBAM(samPath, br, header, outPath, opts.CodecWorkers)
 		if err != nil {
@@ -70,9 +70,8 @@ func ConvertSAMToBAM(samPath string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	convStart := <-convStartCh
-	res.Stats.PartitionTime = convStart.Sub(partStart)
-	res.Stats.ConvertTime = time.Since(convStart)
+	res.Stats.PartitionTime = ph.Wall("partition")
+	res.Stats.ConvertTime = ph.Wall("convert")
 	tally.into(&res.Stats)
 	return &res, nil
 }

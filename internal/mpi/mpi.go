@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
+
+	"parseq/internal/obs"
 )
 
 // ErrAborted is returned from communication calls after any rank in the
@@ -41,6 +44,49 @@ type world struct {
 	barrierCond  *sync.Cond
 	barrierCount int
 	barrierGen   uint64
+
+	obs *worldObs // nil when telemetry is disabled
+}
+
+// worldObs carries the per-rank communication counters one Run records
+// into the process-wide obs registry: the time each rank spends blocked
+// in Send/Recv/Barrier is the paper's compute-vs-communication split,
+// and the grand total surfaces as mpi.wait_ns in the -metrics export.
+type worldObs struct {
+	sendWait    []*obs.Counter // mpi.rank<r>.send_wait_ns
+	recvWait    []*obs.Counter // mpi.rank<r>.recv_wait_ns
+	barrierWait []*obs.Counter // mpi.rank<r>.barrier_wait_ns
+	sends       []*obs.Counter
+	recvs       []*obs.Counter
+	barriers    []*obs.Counter
+	bytes       []*obs.Counter // payload bytes sent by rank
+	waitNS      *obs.Counter   // mpi.wait_ns, all ranks, all calls
+}
+
+// newWorldObs registers the per-rank counters. Counters are memoised by
+// name, so repeated Run invocations accumulate into the same series.
+func newWorldObs(reg *obs.Registry, size int) *worldObs {
+	o := &worldObs{
+		sendWait:    make([]*obs.Counter, size),
+		recvWait:    make([]*obs.Counter, size),
+		barrierWait: make([]*obs.Counter, size),
+		sends:       make([]*obs.Counter, size),
+		recvs:       make([]*obs.Counter, size),
+		barriers:    make([]*obs.Counter, size),
+		bytes:       make([]*obs.Counter, size),
+		waitNS:      reg.Counter("mpi.wait_ns"),
+	}
+	for r := 0; r < size; r++ {
+		prefix := fmt.Sprintf("mpi.rank%d.", r)
+		o.sendWait[r] = reg.Counter(prefix + "send_wait_ns")
+		o.recvWait[r] = reg.Counter(prefix + "recv_wait_ns")
+		o.barrierWait[r] = reg.Counter(prefix + "barrier_wait_ns")
+		o.sends[r] = reg.Counter(prefix + "sends")
+		o.recvs[r] = reg.Counter(prefix + "recvs")
+		o.barriers[r] = reg.Counter(prefix + "barriers")
+		o.bytes[r] = reg.Counter(prefix + "send_bytes")
+	}
+	return o
 }
 
 // Comm is one rank's handle on the world.
@@ -58,6 +104,9 @@ func Run(size int, fn func(c *Comm) error) error {
 		return fmt.Errorf("mpi: invalid world size %d", size)
 	}
 	w := &world{size: size, abort: make(chan struct{})}
+	if reg := obs.Default(); reg != nil {
+		w.obs = newWorldObs(reg, size)
+	}
 	w.barrierCond = sync.NewCond(&w.barrierMu)
 	w.chans = make([][]chan message, size)
 	for i := range w.chans {
@@ -133,6 +182,16 @@ func (c *Comm) Send(to, tag int, data []byte) error {
 		return fmt.Errorf("mpi: Send to invalid rank %d", to)
 	}
 	msg := message{tag: tag, data: append([]byte(nil), data...)}
+	if o := c.w.obs; o != nil {
+		o.sends[c.rank].Add(1)
+		o.bytes[c.rank].Add(int64(len(data)))
+		start := time.Now()
+		defer func() {
+			wait := time.Since(start).Nanoseconds()
+			o.sendWait[c.rank].Add(wait)
+			o.waitNS.Add(wait)
+		}()
+	}
 	select {
 	case c.w.chans[c.rank][to] <- msg:
 		return nil
@@ -146,6 +205,15 @@ func (c *Comm) Send(to, tag int, data []byte) error {
 func (c *Comm) Recv(from, tag int) ([]byte, error) {
 	if from < 0 || from >= c.w.size {
 		return nil, fmt.Errorf("mpi: Recv from invalid rank %d", from)
+	}
+	if o := c.w.obs; o != nil {
+		o.recvs[c.rank].Add(1)
+		start := time.Now()
+		defer func() {
+			wait := time.Since(start).Nanoseconds()
+			o.recvWait[c.rank].Add(wait)
+			o.waitNS.Add(wait)
+		}()
 	}
 	select {
 	case msg := <-c.w.chans[from][c.rank]:
@@ -163,6 +231,15 @@ func (c *Comm) Recv(from, tag int) ([]byte, error) {
 // "set a global barrier" steps (Algorithm 1 line 16, Algorithm 2 line 4).
 func (c *Comm) Barrier() error {
 	w := c.w
+	if o := w.obs; o != nil {
+		o.barriers[c.rank].Add(1)
+		start := time.Now()
+		defer func() {
+			wait := time.Since(start).Nanoseconds()
+			o.barrierWait[c.rank].Add(wait)
+			o.waitNS.Add(wait)
+		}()
+	}
 	w.barrierMu.Lock()
 	defer w.barrierMu.Unlock()
 	if w.aborted() {

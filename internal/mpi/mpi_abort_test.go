@@ -1,0 +1,185 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parseq/internal/obs"
+)
+
+// TestAbortDuringBarrier parks three ranks in Barrier before the fourth
+// fails, and requires each parked rank to unwind with ErrAborted rather
+// than deadlock.
+func TestAbortDuringBarrier(t *testing.T) {
+	sentinel := errors.New("late failure")
+	var aborted atomic.Int32
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 3 {
+			// Give the others time to park in the barrier first.
+			time.Sleep(20 * time.Millisecond)
+			return sentinel
+		}
+		err := c.Barrier()
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("rank %d Barrier err = %v, want ErrAborted", c.Rank(), err)
+		}
+		aborted.Add(1)
+		return err
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run err = %v, want sentinel", err)
+	}
+	if got := aborted.Load(); got != 3 {
+		t.Errorf("%d ranks saw ErrAborted in Barrier, want 3", got)
+	}
+}
+
+// TestAbortDuringGatherBlockedSend drives a non-root rank's Gather until
+// its underlying Send blocks on the full point-to-point buffer, then
+// fails the root. The blocked Send must return ErrAborted.
+func TestAbortDuringGatherBlockedSend(t *testing.T) {
+	sentinel := errors.New("root failed")
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Never receive; fail once rank 1 is certainly blocked.
+			time.Sleep(50 * time.Millisecond)
+			return sentinel
+		}
+		// The channel buffer holds 64 messages, so some Gather beyond the
+		// 64th blocks in Send until the abort fires.
+		for i := 0; i < 200; i++ {
+			if _, err := c.Gather(0, []byte{byte(i)}); err != nil {
+				if !errors.Is(err, ErrAborted) {
+					return fmt.Errorf("Gather err = %v, want ErrAborted", err)
+				}
+				return err
+			}
+		}
+		return errors.New("200 Gathers completed without blocking; buffer deeper than expected")
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run err = %v, want sentinel", err)
+	}
+}
+
+// TestAbortDuringGatherAtRoot blocks the root in Gather's Recv and fails
+// a non-root rank; the root must unwind with ErrAborted.
+func TestAbortDuringGatherAtRoot(t *testing.T) {
+	sentinel := errors.New("contributor failed")
+	err := Run(3, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			_, err := c.Gather(0, []byte{0})
+			if !errors.Is(err, ErrAborted) {
+				return fmt.Errorf("root Gather err = %v, want ErrAborted", err)
+			}
+			return err
+		case 1:
+			time.Sleep(20 * time.Millisecond)
+			return sentinel
+		default:
+			// Contributes, then the world aborts around it.
+			_, err := c.Gather(0, []byte{2})
+			return err
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run err = %v, want sentinel", err)
+	}
+}
+
+// TestAbortDuringScatterBlockedRecv parks non-root ranks in Scatter's
+// Recv (the root never sends) and requires them to unwind with
+// ErrAborted when the root fails.
+func TestAbortDuringScatterBlockedRecv(t *testing.T) {
+	sentinel := errors.New("root failed before scattering")
+	var aborted atomic.Int32
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(20 * time.Millisecond)
+			return sentinel
+		}
+		_, err := c.Scatter(0, nil)
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("rank %d Scatter err = %v, want ErrAborted", c.Rank(), err)
+		}
+		aborted.Add(1)
+		return err
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run err = %v, want sentinel", err)
+	}
+	if got := aborted.Load(); got != 3 {
+		t.Errorf("%d ranks saw ErrAborted in Scatter, want 3", got)
+	}
+}
+
+// TestScatterMismatchedPartsAbortsWorld passes the wrong part count at
+// the root of a multi-rank world: the root's error must surface from Run
+// and the blocked non-root ranks must drain with ErrAborted.
+func TestScatterMismatchedPartsAbortsWorld(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			_, err := c.Scatter(0, [][]byte{{1}, {2}}) // 2 parts for 3 ranks
+			if err == nil {
+				return errors.New("Scatter with 2 parts for 3 ranks succeeded")
+			}
+			return err
+		}
+		_, err := c.Scatter(0, nil)
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("rank %d Scatter err = %v, want ErrAborted", c.Rank(), err)
+		}
+		return err
+	})
+	if err == nil || !contains(err.Error(), "parts") {
+		t.Fatalf("Run err = %v, want the part-count error", err)
+	}
+}
+
+// TestCommCountersRecorded checks the telemetry side of the runtime:
+// with a registry installed, Send/Recv/Barrier book their per-rank
+// counts and the blocked-time totals.
+func TestCommCountersRecorded(t *testing.T) {
+	reg := obs.New()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 7, []byte("abc")); err != nil {
+				return err
+			}
+		} else {
+			// Delay so rank 1's Recv wait (and mpi.wait_ns) is measurable.
+			time.Sleep(2 * time.Millisecond)
+			if _, err := c.Recv(0, 7); err != nil {
+				return err
+			}
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	checks := map[string]int64{
+		"mpi.rank0.sends":      1,
+		"mpi.rank0.send_bytes": 3,
+		"mpi.rank1.recvs":      1,
+		"mpi.rank0.barriers":   1,
+		"mpi.rank1.barriers":   1,
+	}
+	for name, want := range checks {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if s.Counters["mpi.wait_ns"] <= 0 {
+		t.Errorf("mpi.wait_ns = %d, want > 0", s.Counters["mpi.wait_ns"])
+	}
+}

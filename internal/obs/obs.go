@@ -1,0 +1,368 @@
+// Package obs is the framework's dependency-free telemetry layer: a
+// metrics registry (atomic counters, gauges, fixed-bucket histograms), a
+// per-process span tracer exporting Chrome trace_event JSON, and pprof/
+// runtime hooks. It exists because the paper's whole argument is a
+// wall-clock decomposition — preprocessing vs. partitioning vs. parallel
+// conversion — and because sizing worker pools "from measured bytes/s"
+// requires measuring.
+//
+// The package is built to stay on by default in library code: every
+// metric handle and the registry itself are nil-safe, and the disabled
+// path is a single inlined nil check (see BenchmarkObsDisabledOverhead),
+// so instrumented hot loops cost nothing when no registry is installed.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultReg is the process-wide registry the instrumented libraries
+// (mpi, parpipe, bgzf, conv, sorter) record into. It is nil until a CLI
+// or test enables telemetry, which is what makes the library-side
+// instrumentation free by default.
+var defaultReg atomic.Pointer[Registry]
+
+// SetDefault installs (or, with nil, removes) the process-wide registry.
+func SetDefault(r *Registry) { defaultReg.Store(r) }
+
+// Default returns the process-wide registry, or nil when telemetry is
+// disabled.
+func Default() *Registry { return defaultReg.Load() }
+
+// Counter is a monotonically increasing atomic counter. A nil Counter is
+// valid and free: every method no-ops.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that also remembers its high-water
+// mark. A nil Gauge is valid and free.
+type Gauge struct{ v, max atomic.Int64 }
+
+// Set stores v and raises the high-water mark when exceeded.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.v.Add(d))
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram buckets are powers of two starting at histMinExp. With
+// nanosecond observations the first bucket is "< 2µs" and the last is an
+// overflow bucket past ~2¼ minutes — wide enough for codec block
+// latencies and phase durations alike, and bucketing is two shifts and a
+// clamp, no search.
+const (
+	histMinExp  = 10 // 2^10 ns ≈ 1 µs resolution floor
+	histBuckets = 28
+)
+
+// Histogram counts observations in fixed power-of-two buckets. A nil
+// Histogram is valid and free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// histBucketOf maps v to its bucket index.
+func histBucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v)) - histMinExp
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the exclusive upper bound of bucket i, matching
+// the "le" values in the JSON export. The last bucket is unbounded and
+// reports -1.
+func BucketBound(i int) int64 {
+	if i >= histBuckets-1 {
+		return -1
+	}
+	return 1 << uint(i+histMinExp)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if h.count.Add(1) == 1 {
+		h.min.Store(v)
+		h.max.Store(v)
+	} else {
+		for {
+			m := h.min.Load()
+			if v >= m || h.min.CompareAndSwap(m, v) {
+				break
+			}
+		}
+		for {
+			m := h.max.Load()
+			if v <= m || h.max.CompareAndSwap(m, v) {
+				break
+			}
+		}
+	}
+	h.sum.Add(v)
+	h.buckets[histBucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry holds named metrics, phase aggregates and (optionally) the
+// span tracer. All methods are safe for concurrent use; the lookup
+// methods are nil-safe so `reg.Counter("x")` with a nil registry yields
+// a nil (free) handle.
+type Registry struct {
+	start time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	phases   map[string]*phaseAgg
+
+	tracer atomic.Pointer[tracer]
+	pidSeq atomic.Int32
+
+	procMu    sync.Mutex
+	procNames map[int]string
+}
+
+// New returns an empty registry with tracing disabled.
+func New() *Registry {
+	return &Registry{
+		start:     time.Now(),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		phases:    make(map[string]*phaseAgg),
+		procNames: make(map[int]string),
+	}
+}
+
+// EnableTracing attaches a span tracer keeping up to eventsPerPID events
+// in each process's ring buffer (≤ 0 selects a default of 16384).
+func (r *Registry) EnableTracing(eventsPerPID int) {
+	if r == nil {
+		return
+	}
+	if eventsPerPID <= 0 {
+		eventsPerPID = 16384
+	}
+	r.tracer.Store(newTracer(eventsPerPID))
+}
+
+// TracingEnabled reports whether spans are being recorded.
+func (r *Registry) TracingEnabled() bool {
+	return r != nil && r.tracer.Load() != nil
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// AllocPID reserves a fresh trace process id (above the MPI rank space)
+// and names it, for subsystems — worker pools, codecs — that are not
+// ranks but deserve their own swim lane in the trace viewer.
+func (r *Registry) AllocPID(name string) int {
+	if r == nil {
+		return 0
+	}
+	pid := int(r.pidSeq.Add(1)) + allocPIDBase
+	r.SetProcessName(pid, name)
+	return pid
+}
+
+// allocPIDBase keeps allocated pids clear of plausible MPI rank numbers.
+const allocPIDBase = 10000
+
+// SetProcessName labels a trace process (an MPI rank or an allocated
+// subsystem pid) in the exported trace.
+func (r *Registry) SetProcessName(pid int, name string) {
+	if r == nil {
+		return
+	}
+	r.procMu.Lock()
+	r.procNames[pid] = name
+	r.procMu.Unlock()
+}
+
+// phaseAgg aggregates every span with one name: the earliest start and
+// latest end bound the phase's wall-clock window across ranks, and the
+// per-rank totals feed the -v summary table.
+type phaseAgg struct {
+	minStart time.Duration
+	maxEnd   time.Duration
+	total    time.Duration
+	count    int64
+	perRank  map[int]time.Duration
+}
+
+// recordPhase folds one finished span into the named aggregate.
+func (r *Registry) recordPhase(name string, rank int, start, end time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	a := r.phases[name]
+	if a == nil {
+		a = &phaseAgg{minStart: start, maxEnd: end, perRank: make(map[int]time.Duration)}
+		r.phases[name] = a
+	} else {
+		if start < a.minStart {
+			a.minStart = start
+		}
+		if end > a.maxEnd {
+			a.maxEnd = end
+		}
+	}
+	a.total += end - start
+	a.count++
+	a.perRank[rank] += end - start
+	r.mu.Unlock()
+}
+
+// PhaseWall returns the wall-clock window covered by every span recorded
+// under name: latest end minus earliest start, across all ranks.
+func (r *Registry) PhaseWall(name string) time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.phases[name]
+	if a == nil {
+		return 0
+	}
+	return a.maxEnd - a.minStart
+}
+
+// PhaseNames returns the recorded phase names, sorted.
+func (r *Registry) PhaseNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.phases))
+	for n := range r.phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector instruments this build;
+// the disabled-overhead timing guard skips itself under -race.
+const raceEnabled = true

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// event is one completed span in a trace ring.
+type event struct {
+	name    string
+	pid     int32
+	tid     int32
+	startNS int64
+	durNS   int64
+}
+
+// ring is one trace process's bounded event buffer. Appends take the
+// ring's own mutex, so ranks never contend with each other — the
+// "lock-cheap per-rank ring buffer" the tracer promises.
+type ring struct {
+	mu     sync.Mutex
+	events []event
+	next   int
+	full   bool
+}
+
+func (rg *ring) add(e event) {
+	rg.mu.Lock()
+	if rg.next == len(rg.events) {
+		rg.next = 0
+		rg.full = true
+	}
+	rg.events[rg.next] = e
+	rg.next++
+	rg.mu.Unlock()
+}
+
+// snapshot returns the ring's events oldest-first.
+func (rg *ring) snapshot() []event {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if !rg.full {
+		return append([]event(nil), rg.events[:rg.next]...)
+	}
+	out := make([]event, 0, len(rg.events))
+	out = append(out, rg.events[rg.next:]...)
+	out = append(out, rg.events[:rg.next]...)
+	return out
+}
+
+// tracer routes span events to per-pid rings.
+type tracer struct {
+	perPID int
+	mu     sync.RWMutex
+	rings  map[int32]*ring
+}
+
+func newTracer(perPID int) *tracer {
+	return &tracer{perPID: perPID, rings: make(map[int32]*ring)}
+}
+
+func (t *tracer) ringFor(pid int32) *ring {
+	t.mu.RLock()
+	rg := t.rings[pid]
+	t.mu.RUnlock()
+	if rg != nil {
+		return rg
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rg = t.rings[pid]; rg == nil {
+		rg = &ring{events: make([]event, t.perPID)}
+		t.rings[pid] = rg
+	}
+	return rg
+}
+
+func (t *tracer) add(e event) { t.ringFor(e.pid).add(e) }
+
+// Span is one timed, named region of work. The zero Span is the disabled
+// span: Start* on a nil registry returns it, and End on it is free.
+type Span struct {
+	r     *Registry
+	name  string
+	pid   int32
+	tid   int32
+	agg   bool
+	start time.Duration
+}
+
+// StartSpan opens a phase span on trace process pid (an MPI rank, or an
+// AllocPID id), thread tid. Its End feeds both the tracer (when enabled)
+// and the phase aggregates behind PhaseWall and the -v summary.
+func (r *Registry) StartSpan(pid, tid int, name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, pid: int32(pid), tid: int32(tid), agg: true, start: time.Since(r.start)}
+}
+
+// StartWorkerSpan opens a trace-only span: it lands in the trace viewer
+// but skips the phase aggregates, keeping per-item worker spans off the
+// aggregate mutex. It is free unless tracing is enabled.
+func (r *Registry) StartWorkerSpan(pid, tid int, name string) Span {
+	if r == nil || r.tracer.Load() == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, pid: int32(pid), tid: int32(tid), start: time.Since(r.start)}
+}
+
+// End closes the span and returns its duration. Safe on the zero Span.
+func (s *Span) End() time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	end := time.Since(s.r.start)
+	d := end - s.start
+	if s.agg {
+		s.r.recordPhase(s.name, int(s.pid), s.start, end)
+	}
+	if t := s.r.tracer.Load(); t != nil {
+		t.add(event{name: s.name, pid: s.pid, tid: s.tid,
+			startNS: s.start.Nanoseconds(), durNS: d.Nanoseconds()})
+	}
+	return d
+}
+
+// PhaseSet measures one operation's phase decomposition independently of
+// the shared registry: Wall answers "how long did phase X take in *this*
+// conversion" even when the process-wide registry is disabled or shared
+// by many concurrent operations. Spans started through it also mirror
+// into the registry's tracer and aggregates when one is attached.
+type PhaseSet struct {
+	r     *Registry // may be nil
+	epoch time.Time
+	mu    sync.Mutex
+	min   map[string]time.Duration
+	max   map[string]time.Duration
+}
+
+// NewPhaseSet returns a phase set mirroring into r (which may be nil).
+func NewPhaseSet(r *Registry) *PhaseSet {
+	return &PhaseSet{
+		r:     r,
+		epoch: time.Now(),
+		min:   make(map[string]time.Duration),
+		max:   make(map[string]time.Duration),
+	}
+}
+
+// PhaseSpan is one rank's span within a PhaseSet.
+type PhaseSpan struct {
+	ps    *PhaseSet
+	sp    Span
+	name  string
+	start time.Duration
+}
+
+// Start opens phase `name` on `rank`.
+func (p *PhaseSet) Start(rank int, name string) PhaseSpan {
+	return PhaseSpan{ps: p, sp: p.r.StartSpan(rank, 0, name), name: name, start: time.Since(p.epoch)}
+}
+
+// End closes the span, folds it into the set and the mirrored registry,
+// and returns this span's own duration.
+func (s *PhaseSpan) End() time.Duration {
+	if s.ps == nil {
+		return 0
+	}
+	end := time.Since(s.ps.epoch)
+	s.ps.mu.Lock()
+	if cur, ok := s.ps.min[s.name]; !ok || s.start < cur {
+		s.ps.min[s.name] = s.start
+	}
+	if end > s.ps.max[s.name] {
+		s.ps.max[s.name] = end
+	}
+	s.ps.mu.Unlock()
+	s.sp.End()
+	return end - s.start
+}
+
+// Wall returns the wall-clock window phase `name` covered across every
+// rank that recorded it: latest end minus earliest start.
+func (p *PhaseSet) Wall(name string) time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	min, ok := p.min[name]
+	if !ok {
+		return 0
+	}
+	return p.max[name] - min
+}
+
+// traceEvent is the Chrome trace_event wire format (one complete "X"
+// event or one "M" metadata record).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int32          `json:"pid"`
+	TID  int32          `json:"tid"`
+	TS   float64        `json:"ts,omitempty"`  // µs
+	Dur  float64        `json:"dur,omitempty"` // µs
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// WriteTrace exports every recorded span as Chrome trace_event JSON: one
+// trace "process" per MPI rank (or allocated pid), one "thread" per
+// worker. The output opens directly in chrome://tracing or Perfetto.
+func (r *Registry) WriteTrace(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: no registry")
+	}
+	t := r.tracer.Load()
+	if t == nil {
+		return fmt.Errorf("obs: tracing not enabled")
+	}
+	t.mu.RLock()
+	pids := make([]int32, 0, len(t.rings))
+	for pid := range t.rings {
+		pids = append(pids, pid)
+	}
+	t.mu.RUnlock()
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+
+	var out traceFile
+	out.DisplayTimeUnit = "ms"
+	r.procMu.Lock()
+	names := make(map[int]string, len(r.procNames))
+	for pid, n := range r.procNames {
+		names[pid] = n
+	}
+	r.procMu.Unlock()
+	for _, pid := range pids {
+		name := names[int(pid)]
+		if name == "" {
+			name = fmt.Sprintf("rank %d", pid)
+		}
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, pid := range pids {
+		t.mu.RLock()
+		rg := t.rings[pid]
+		t.mu.RUnlock()
+		for _, e := range rg.snapshot() {
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: e.name, Ph: "X", PID: e.pid, TID: e.tid,
+				TS: float64(e.startNS) / 1e3, Dur: float64(e.durNS) / 1e3,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

@@ -1,0 +1,120 @@
+// Package obsflag wires the obs telemetry layer into the command-line
+// tools: every CLI registers the same -metrics/-trace/-cpuprofile/
+// -memprofile/-v flags, starts one Session around its work, and closes
+// it to write the requested outputs. Centralising the plumbing keeps
+// the four binaries' telemetry surfaces identical.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"parseq/internal/obs"
+)
+
+// Flags holds the parsed telemetry flag values.
+type Flags struct {
+	Metrics    string // -metrics: metrics snapshot JSON path
+	Trace      string // -trace: Chrome trace_event JSON path
+	CPUProfile string // -cpuprofile: pprof CPU profile path
+	MemProfile string // -memprofile: pprof heap profile path
+	Verbose    bool   // -v: per-phase/per-rank summary on stderr
+}
+
+// Register installs the telemetry flags on fs (flag.CommandLine when
+// nil) and returns the value holder to pass to Start after parsing.
+func Register(fs *flag.FlagSet) *Flags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &Flags{}
+	fs.StringVar(&f.Metrics, "metrics", "", "write a metrics snapshot (JSON) to this file at exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event JSON trace to this file at exit (open in chrome://tracing or Perfetto)")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
+	fs.BoolVar(&f.Verbose, "v", false, "print a per-phase/per-rank telemetry summary to stderr at exit")
+	return f
+}
+
+// Session is one CLI run's active telemetry. Close writes every
+// requested output; both methods tolerate a fully disabled Flags, so
+// callers can run them unconditionally.
+type Session struct {
+	flags   *Flags
+	reg     *obs.Registry
+	stopCPU func() error
+}
+
+// Start enables whatever the flags ask for: a process-wide registry
+// (with tracing when -trace is set) that the instrumented libraries
+// pick up through obs.Default, and CPU profiling. With no telemetry
+// flags set it is a no-op and the libraries stay on their free path.
+func (f *Flags) Start() (*Session, error) {
+	s := &Session{flags: f}
+	if f.Metrics != "" || f.Trace != "" || f.Verbose {
+		s.reg = obs.New()
+		if f.Trace != "" {
+			s.reg.EnableTracing(0)
+		}
+		obs.SetDefault(s.reg)
+	}
+	if f.CPUProfile != "" {
+		stop, err := obs.StartCPUProfile(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		s.stopCPU = stop
+	}
+	return s, nil
+}
+
+// Registry returns the session's registry, or nil when telemetry is
+// disabled.
+func (s *Session) Registry() *obs.Registry { return s.reg }
+
+// Close stops profiling, detaches the registry and writes the metrics
+// file, the trace file, the heap profile and the -v summary, returning
+// the first error.
+func (s *Session) Close() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.stopCPU != nil {
+		keep(s.stopCPU())
+		s.stopCPU = nil
+	}
+	if s.reg != nil {
+		obs.SetDefault(nil)
+		if s.flags.Metrics != "" {
+			keep(writeFile(s.flags.Metrics, s.reg.WriteJSON))
+		}
+		if s.flags.Trace != "" {
+			keep(writeFile(s.flags.Trace, s.reg.WriteTrace))
+		}
+		if s.flags.Verbose {
+			keep(s.reg.WriteSummary(os.Stderr))
+		}
+	}
+	if s.flags.MemProfile != "" {
+		keep(obs.WriteHeapProfile(s.flags.MemProfile))
+	}
+	return firstErr
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obsflag: writing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -10,9 +10,20 @@
 // the consumer sees jobs exactly in the order they were submitted, so
 // "first error in stream order" falls out of the delivery order for
 // free.
+//
+// A pipeline built with NewObserved additionally reports itself to an
+// obs.Registry — queue depth, per-worker busy/idle time, items
+// processed, and (when tracing is on) one trace span per job on the
+// worker that ran it. A pipeline built with New is untouched: the
+// instrumentation fields stay nil and the hot path pays nothing.
 package parpipe
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"parseq/internal/obs"
+)
 
 // ticket pairs a job with its completion signal. The done channel is
 // buffered so a worker never blocks handing off a finished job.
@@ -31,12 +42,31 @@ type Pipe[J any] struct {
 	out     chan J
 	tickets sync.Pool
 	wg      sync.WaitGroup
+
+	// Telemetry (nil/zero on unobserved pipelines).
+	reg    *obs.Registry
+	name   string
+	pid    int
+	items  *obs.Counter
+	busyNS *obs.Counter
+	idleNS *obs.Counter
+	queue  *obs.Gauge
 }
 
 // New starts a pipeline of `workers` goroutines applying fn to each
 // submitted job. depth bounds the number of in-flight jobs; it is
 // raised to workers when smaller so the pool can actually fill.
 func New[J any](workers, depth int, fn func(J)) *Pipe[J] {
+	return NewObserved(workers, depth, fn, nil, "")
+}
+
+// NewObserved is New with telemetry: the pipeline registers
+// parpipe.<name>.{items,busy_ns,idle_ns} counters and a
+// parpipe.<name>.queue_depth gauge on reg, and — when reg has tracing
+// enabled — emits one span per job under its own trace process, one
+// trace thread per worker. A nil reg yields an uninstrumented pipeline
+// identical to New's.
+func NewObserved[J any](workers, depth int, fn func(J), reg *obs.Registry, name string) *Pipe[J] {
 	if workers < 1 {
 		workers = 1
 	}
@@ -49,16 +79,22 @@ func New[J any](workers, depth int, fn func(J)) *Pipe[J] {
 		order: make(chan *ticket[J], depth),
 		out:   make(chan J, depth),
 	}
+	if reg != nil {
+		p.reg = reg
+		p.name = name
+		prefix := "parpipe." + name
+		p.items = reg.Counter(prefix + ".items")
+		p.busyNS = reg.Counter(prefix + ".busy_ns")
+		p.idleNS = reg.Counter(prefix + ".idle_ns")
+		p.queue = reg.Gauge(prefix + ".queue_depth")
+		if reg.TracingEnabled() {
+			p.pid = reg.AllocPID("pipe:" + name)
+		}
+	}
 	p.tickets.New = func() any { return &ticket[J]{done: make(chan struct{}, 1)} }
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			for t := range p.work {
-				p.fn(t.job)
-				t.done <- struct{}{}
-			}
-		}()
+		go p.worker(i)
 	}
 	go func() {
 		for t := range p.order {
@@ -75,6 +111,36 @@ func New[J any](workers, depth int, fn func(J)) *Pipe[J] {
 	return p
 }
 
+// worker drains the work channel. On observed pipelines it splits its
+// lifetime into idle (waiting for a job) and busy (running fn) time —
+// the two counters behind the exported busy-fraction — and emits one
+// trace span per job.
+func (p *Pipe[J]) worker(id int) {
+	defer p.wg.Done()
+	if p.reg == nil {
+		for t := range p.work {
+			p.fn(t.job)
+			t.done <- struct{}{}
+		}
+		return
+	}
+	last := time.Now()
+	for t := range p.work {
+		start := time.Now()
+		p.idleNS.Add(start.Sub(last).Nanoseconds())
+		var sp obs.Span
+		if p.pid != 0 {
+			sp = p.reg.StartWorkerSpan(p.pid, id, p.name)
+		}
+		p.fn(t.job)
+		sp.End()
+		last = time.Now()
+		p.busyNS.Add(last.Sub(start).Nanoseconds())
+		p.items.Add(1)
+		t.done <- struct{}{}
+	}
+}
+
 // Submit enqueues one job. It blocks while the pipeline holds depth
 // unfinished jobs, and must not be called after Close.
 func (p *Pipe[J]) Submit(j J) {
@@ -82,6 +148,7 @@ func (p *Pipe[J]) Submit(j J) {
 	t.job = j
 	p.order <- t
 	p.work <- t
+	p.queue.Set(int64(len(p.work)))
 }
 
 // Out delivers processed jobs in submission order. The channel is

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"parseq/internal/bam"
+	"parseq/internal/obs"
 	"parseq/internal/sam"
 )
 
@@ -29,6 +30,11 @@ type Options struct {
 	Cores int
 	// TmpDir receives the temporary runs; "" uses the OS default.
 	TmpDir string
+	// CodecWorkers is the number of BGZF codec goroutines per BAM
+	// stream — the input reader, every spilled run, and the merged
+	// output; 0 or 1 keeps the sequential codec. Orthogonal to Cores,
+	// exactly as in the converter runtime.
+	CodecWorkers int
 }
 
 func (o *Options) normalize() {
@@ -97,10 +103,11 @@ func SortBAM(bamPath, outPath string, opts Options) (int64, error) {
 		return 0, err
 	}
 	defer in.Close()
-	src, err := bam.NewReader(in)
+	src, err := bam.NewReader(in, bam.WithCodecWorkers(opts.CodecWorkers))
 	if err != nil {
 		return 0, err
 	}
+	defer src.Close()
 	return sortToBAM(src, outPath, opts)
 }
 
@@ -115,6 +122,10 @@ func sortToBAM(src recordSource, outPath string, opts Options) (int64, error) {
 		return 0, err
 	}
 	defer os.RemoveAll(tmpDir)
+
+	reg := obs.Default()
+	ph := obs.NewPhaseSet(reg)
+	spill := ph.Start(0, "sort.spill")
 
 	// Phase 1: read chunks, sort them in parallel workers, spill runs.
 	type job struct {
@@ -133,7 +144,7 @@ func sortToBAM(src recordSource, outPath string, opts Options) (int64, error) {
 			for j := range jobs {
 				SortRecords(header, j.recs)
 				path := filepath.Join(tmpDir, fmt.Sprintf("run%06d.bam", j.idx))
-				if err := writeRun(path, header, j.recs); err != nil {
+				if err := writeRun(path, header, j.recs, opts.CodecWorkers); err != nil {
 					workerErr[worker] = err
 					// Drain remaining jobs so the producer never blocks.
 					continue
@@ -180,22 +191,27 @@ func sortToBAM(src recordSource, outPath string, opts Options) (int64, error) {
 			return 0, err
 		}
 	}
+	spill.End()
+	reg.Counter("sorter.records").Add(total)
+	reg.Counter("sorter.runs").Add(int64(len(runPaths)))
 
 	// Phase 2: k-way merge of the sorted runs.
+	merge := ph.Start(0, "sort.merge")
 	sort.Strings(runPaths)
-	if err := mergeRuns(runPaths, header, outPath); err != nil {
+	if err := mergeRuns(runPaths, header, outPath, opts.CodecWorkers); err != nil {
 		return 0, err
 	}
+	merge.End()
 	return total, nil
 }
 
 // writeRun spills one sorted chunk as a BAM run.
-func writeRun(path string, h *sam.Header, recs []sam.Record) error {
+func writeRun(path string, h *sam.Header, recs []sam.Record, codecWorkers int) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	w, err := bam.NewWriter(f, h)
+	w, err := bam.NewWriter(f, h, bam.WithCodecWorkers(codecWorkers))
 	if err != nil {
 		f.Close()
 		return err
@@ -244,12 +260,12 @@ func (h *mergeHeap) Pop() interface{} {
 }
 
 // mergeRuns streams the runs through a heap into the output BAM.
-func mergeRuns(runPaths []string, header *sam.Header, outPath string) error {
+func mergeRuns(runPaths []string, header *sam.Header, outPath string, codecWorkers int) error {
 	out, err := os.Create(outPath)
 	if err != nil {
 		return err
 	}
-	w, err := bam.NewWriter(out, header)
+	w, err := bam.NewWriter(out, header, bam.WithCodecWorkers(codecWorkers))
 	if err != nil {
 		out.Close()
 		return err
@@ -257,7 +273,10 @@ func mergeRuns(runPaths []string, header *sam.Header, outPath string) error {
 	readers := make([]*bam.Reader, len(runPaths))
 	files := make([]*os.File, len(runPaths))
 	defer func() {
-		for _, f := range files {
+		for i, f := range files {
+			if readers[i] != nil {
+				readers[i].Close()
+			}
 			if f != nil {
 				f.Close()
 			}
@@ -271,7 +290,7 @@ func mergeRuns(runPaths []string, header *sam.Header, outPath string) error {
 			return err
 		}
 		files[i] = f
-		r, err := bam.NewReader(f)
+		r, err := bam.NewReader(f, bam.WithCodecWorkers(codecWorkers))
 		if err != nil {
 			out.Close()
 			return err

@@ -109,6 +109,14 @@ func PreprocessBAMWorkers(bamPath, bamxPath, baixPath string, codecWorkers int) 
 	return conv.PreprocessBAMFileWorkers(bamPath, bamxPath, baixPath, codecWorkers)
 }
 
+// ConvertBAM is the complete BAM format converter: sequential
+// preprocessing into a temporary BAMX/BAIX pair under opts.OutDir, then
+// parallel conversion. PreprocessTime reports the sequential phase
+// separately.
+func ConvertBAM(bamPath string, opts Options) (*Result, error) {
+	return conv.ConvertBAM(bamPath, opts)
+}
+
 // ConvertBAMX runs the parallel conversion phase over a BAMX file.
 // With opts.Region set, the BAIX index maps the region to a contiguous
 // record range first (partial conversion); baixPath may be empty to
