@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck fmt-check bench-smoke metrics-smoke ci
+.PHONY: all build test race race-decode vet staticcheck fmt-check bench-smoke bench-decode metrics-smoke ci
 
 all: build
 
@@ -17,6 +17,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race run over the parallel decode path (zero-copy block API,
+# prefetcher, record scanner, BAMZ readahead and their consumers) —
+# faster feedback than the full `race` sweep when touching that code.
+race-decode:
+	$(GO) test -race -count=1 ./internal/bgzf ./internal/bam ./internal/bamx ./internal/sorter
 
 vet:
 	$(GO) vet ./...
@@ -41,7 +47,26 @@ fmt-check:
 # without paying for a real measurement run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkBGZF' -benchtime 1x ./internal/bgzf
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelBAMScan' -benchtime 1x ./internal/bam
 	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchtime 1x ./internal/obs
+
+# Real measurement of the BAM decode worker sweep (sequential baseline
+# vs bam.ParallelScanner at 1/2/4/8 workers), recorded for comparison
+# across changes. The JSON wraps `go test -bench` text output with the
+# machine's parallelism so runs on different hosts aren't conflated.
+bench-decode:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkParallelBAMScan' -benchtime 2x ./internal/bam); \
+	status=$$?; echo "$$out"; [ $$status -eq 0 ] || exit $$status; \
+	{ \
+		echo '{'; \
+		echo '  "benchmark": "BenchmarkParallelBAMScan",'; \
+		echo "  \"cpus\": $$(nproc),"; \
+		echo '  "output": ['; \
+		echo "$$out" | sed 's/\\/\\\\/g; s/"/\\"/g; s/^/    "/; s/$$/",/' | sed '$$ s/,$$//'; \
+		echo '  ]'; \
+		echo '}'; \
+	} > BENCH_decode.json; \
+	echo "wrote BENCH_decode.json"
 
 # End-to-end telemetry check: a real conversion run must produce a
 # metrics snapshot with the documented schema (MPI wait, codec
@@ -49,5 +74,5 @@ bench-smoke:
 metrics-smoke:
 	$(GO) test -run 'TestMetricsSchema' -count=1 ./internal/obsflag
 
-ci: vet staticcheck fmt-check build race bench-smoke metrics-smoke
+ci: vet staticcheck fmt-check build race race-decode bench-smoke metrics-smoke
 	@echo "ci: all checks passed"

@@ -20,12 +20,13 @@ import (
 
 	"parseq"
 	"parseq/internal/bamx"
+	"parseq/internal/bgzf"
 	"parseq/internal/obsflag"
 	"parseq/internal/sam"
 )
 
 var (
-	workers  = flag.Int("w", 0, "compression worker goroutines (compress only; 0 or 1: sequential)")
+	workers  = flag.Int("w", 0, "compression worker goroutines (compress only; 0: auto, one per CPU capped; 1: sequential)")
 	obsFlags = obsflag.Register(nil)
 )
 
@@ -160,7 +161,11 @@ func runCompress(path string) {
 	if err != nil {
 		die(err)
 	}
-	n, err := bamx.CompressBAMXWorkers(xf, out, bamx.DefaultRecsPerBlock, *workers)
+	w := *workers
+	if w <= 0 {
+		w = bgzf.AutoWorkers() // adaptive default, like the converter CLIs
+	}
+	n, err := bamx.CompressBAMXWorkers(xf, out, bamx.DefaultRecsPerBlock, w)
 	if err != nil {
 		out.Close()
 		die(err)

@@ -29,7 +29,7 @@ func main() {
 		sims     = flag.Int("sims", 0, "FDR simulation datasets")
 		tmp      = flag.String("tmpdir", "", "scratch directory (default: a fresh temp dir)")
 		keep     = flag.Bool("keep", false, "keep scratch files")
-		codec    = flag.Int("codec-workers", 0, "BGZF codec goroutines for BAM/BAMZ steps (0 or 1: sequential codec)")
+		codec    = flag.Int("codec-workers", 0, "BGZF codec goroutines for BAM/BAMZ steps (0: auto, one per CPU capped; 1: sequential codec)")
 		obsFlags = obsflag.Register(nil)
 	)
 	flag.Parse()

@@ -22,7 +22,7 @@ func main() {
 		out      = flag.String("out", "", "output BAM (default: input with .sorted.bam)")
 		cores    = flag.Int("p", 1, "parallel chunk-sort workers")
 		chunk    = flag.Int("chunk", 0, "records per in-memory chunk (default 100000)")
-		codec    = flag.Int("codec-workers", 0, "BGZF codec goroutines per BAM stream (0 or 1: sequential codec)")
+		codec    = flag.Int("codec-workers", 0, "BGZF codec goroutines per BAM stream (0: auto, one per CPU capped; 1: sequential codec)")
 		obsFlags = obsflag.Register(nil)
 	)
 	flag.Parse()

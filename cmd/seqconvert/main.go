@@ -32,7 +32,7 @@ func main() {
 		preproc   = flag.Bool("preprocess", false, "only preprocess the input into BAMX/BAIX")
 		preCores  = flag.Int("pre-p", 0, "preprocessing ranks for the psam converter (default: -p)")
 		baix      = flag.String("baix", "", "BAIX index path (default: input with .baix)")
-		codecWork = flag.Int("codec-workers", 0, "BGZF codec goroutines per BAM stream (0 or 1: sequential codec)")
+		codecWork = flag.Int("codec-workers", 0, "BGZF codec goroutines per BAM stream (0: auto, one per CPU capped; 1: sequential codec)")
 		obsFlags  = obsflag.Register(nil)
 	)
 	flag.Parse()

@@ -1,0 +1,470 @@
+// Zero-copy and parallel record scanning. Both scanners here sit on the
+// codec's BlockSource face (bgzf.Reader and bgzf.ParallelReader alike):
+// whole inflated blocks are parsed in place, so record bytes are copied
+// only when a record straddles a block boundary — a few percent of the
+// stream — instead of once per record through Read's copy loop.
+//
+// BodyScanner is the zero-decode path (raw bodies, one goroutine), the
+// drop-in upgrade for ReadBody loops such as the BAMX preprocessor's
+// two passes. ParallelScanner additionally fans DecodeRecord out to a
+// parpipe worker pool, one batch per block, delivering fully decoded
+// records strictly in file order — the read-side mirror of the parallel
+// BGZF writer.
+
+package bam
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"parseq/internal/bgzf"
+	"parseq/internal/obs"
+	"parseq/internal/parpipe"
+	"parseq/internal/sam"
+)
+
+// minRecordBody is the smallest legal encoded record body: the fixed
+// 32-byte prefix (shared with Reader.ReadBody's validation).
+const minRecordBody = 32
+
+// BodyScanner iterates the raw encoded record bodies of a BAM stream
+// through the codec's zero-copy block API. The scanner takes over the
+// reader's stream position: do not interleave it with the reader's own
+// Read* calls.
+type BodyScanner struct {
+	br    *Reader
+	src   bgzf.BlockSource
+	block []byte // current inflated block, owned until exhausted
+	pos   int
+	carry []byte // scratch for records spanning block boundaries
+	err   error
+}
+
+// NewBodyScanner wraps br, which must be positioned at the first record
+// (as NewReader leaves it, mid-block after the header).
+func NewBodyScanner(br *Reader) *BodyScanner {
+	s := &BodyScanner{br: br}
+	if src, ok := br.bg.(bgzf.BlockSource); ok {
+		s.src = src
+	}
+	return s
+}
+
+// Next returns the next record body (without the block_size prefix),
+// valid until the following Next call. It returns io.EOF at the end of
+// the stream and sticks on the first error.
+func (s *BodyScanner) Next() ([]byte, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.src == nil {
+		// A custom BlockReader without the zero-copy face: fall back to
+		// the copying path.
+		body, err := s.br.ReadBody()
+		if err != nil {
+			s.err = err
+		}
+		return body, err
+	}
+	body, err := s.next()
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	return body, nil
+}
+
+// next parses the following record out of the current block, loading
+// blocks as needed.
+func (s *BodyScanner) next() ([]byte, error) {
+	for {
+		avail := len(s.block) - s.pos
+		if avail >= 4 {
+			size := int(int32(binary.LittleEndian.Uint32(s.block[s.pos:])))
+			if size < minRecordBody {
+				return nil, fmt.Errorf("%w: block_size %d", ErrInvalidRecord, size)
+			}
+			if avail-4 >= size {
+				body := s.block[s.pos+4 : s.pos+4+size]
+				s.pos += 4 + size
+				return body, nil
+			}
+			break // record spans into the next block
+		}
+		if avail > 0 {
+			break // even the size prefix spans blocks
+		}
+		if err := s.advance(); err != nil {
+			return nil, err // io.EOF here is a clean end at a record boundary
+		}
+	}
+	return s.spanning()
+}
+
+// advance recycles the exhausted block and loads the next one.
+func (s *BodyScanner) advance() error {
+	if s.block != nil {
+		s.src.Recycle(s.block)
+		s.block, s.pos = nil, 0
+	}
+	data, _, err := s.src.NextBlock()
+	if err != nil {
+		return err
+	}
+	s.block, s.pos = data, 0
+	return nil
+}
+
+// spanning stitches a record that crosses one or more block boundaries
+// into the carry buffer, starting from the record's first bytes at
+// s.pos in the current block.
+func (s *BodyScanner) spanning() ([]byte, error) {
+	s.carry = append(s.carry[:0], s.block[s.pos:]...)
+	s.pos = len(s.block)
+	// The size prefix itself may straddle blocks.
+	for len(s.carry) < 4 {
+		if err := s.advance(); err != nil {
+			return nil, truncatedErr(err, true)
+		}
+		take := 4 - len(s.carry)
+		if take > len(s.block) {
+			take = len(s.block)
+		}
+		s.carry = append(s.carry, s.block[:take]...)
+		s.pos = take
+	}
+	size := int(int32(binary.LittleEndian.Uint32(s.carry)))
+	if size < minRecordBody {
+		return nil, fmt.Errorf("%w: block_size %d", ErrInvalidRecord, size)
+	}
+	for len(s.carry) < 4+size {
+		if s.pos == len(s.block) {
+			if err := s.advance(); err != nil {
+				return nil, truncatedErr(err, false)
+			}
+		}
+		take := 4 + size - len(s.carry)
+		if m := len(s.block) - s.pos; m < take {
+			take = m
+		}
+		s.carry = append(s.carry, s.block[s.pos:s.pos+take]...)
+		s.pos += take
+	}
+	return s.carry[4:], nil
+}
+
+// truncatedErr maps a clean end-of-stream in the middle of a record to
+// the same ErrInvalidRecord wrapping ReadBody produces; codec errors
+// (ErrCorrupt, ErrNoEOFMarker, ...) pass through untouched.
+func truncatedErr(err error, inSize bool) error {
+	if err != io.EOF {
+		return err
+	}
+	if inSize {
+		return fmt.Errorf("%w: truncated record size", ErrInvalidRecord)
+	}
+	return fmt.Errorf("%w: truncated record body: %v", ErrInvalidRecord, io.ErrUnexpectedEOF)
+}
+
+// decodeBatch is one block's worth of records travelling through the
+// decode pipeline: the inflated block itself, body slices pointing into
+// it (plus at most one stitched head record), and the decoded records.
+// err, when set, positions after the last body — scan errors surface
+// only once every record before them has been delivered.
+type decodeBatch struct {
+	data   []byte   // inflated block, recycled to the codec after use
+	head   []byte   // stitched record spanning into this block, if any
+	bodies [][]byte // raw bodies in file order (head first when present)
+	recs   []sam.Record
+	err    error
+}
+
+// ParallelScanner decodes BAM records on a worker pool while preserving
+// file order. A feeder goroutine pulls inflated blocks through the
+// zero-copy API and splits them into whole-record batches — one batch
+// per block, copying only boundary-spanning records — a parpipe pool
+// fans DecodeRecord out, and Next delivers records in order. The
+// pipeline reports through parpipe's "bam.decode" metrics (queue depth,
+// busy/idle fractions) plus a bam.decode.records counter.
+//
+// The scanner owns the reader's stream position. Close it before
+// closing the Reader, and do not interleave with the reader's own Read*
+// calls. Records handed out by Next own their storage (DecodeRecord
+// copies all bytes), so they stay valid after the scanner recycles the
+// underlying block.
+type ParallelScanner struct {
+	br     *Reader
+	src    bgzf.BlockSource
+	header *sam.Header
+
+	pipe *parpipe.Pipe[*decodeBatch]
+	stop *atomic.Bool
+
+	cur *decodeBatch
+	idx int
+	err error
+
+	batchPool sync.Pool
+	met       *obs.Counter // bam.decode.records; nil when telemetry is off
+
+	fallback bool // no BlockSource underneath: decode on the caller
+}
+
+// NewParallelScanner wraps br, which must be positioned at the first
+// record. workers ≤ 0 selects the adaptive default
+// (bgzf.AutoWorkers). The record order, contents, and error behaviour
+// are identical to a sequential ReadInto loop.
+func NewParallelScanner(br *Reader, workers int) *ParallelScanner {
+	s := &ParallelScanner{br: br, header: br.Header()}
+	src, ok := br.bg.(bgzf.BlockSource)
+	if !ok {
+		s.fallback = true
+		return s
+	}
+	if workers <= 0 {
+		workers = bgzf.AutoWorkers()
+	}
+	s.src = src
+	s.batchPool.New = func() any { return &decodeBatch{} }
+	reg := obs.Default()
+	if reg != nil {
+		s.met = reg.Counter("bam.decode.records")
+	}
+	s.stop = &atomic.Bool{}
+	s.pipe = parpipe.NewObserved(workers, 4*workers, s.decode, reg, "bam.decode")
+	go s.feed(s.pipe, s.stop)
+	return s
+}
+
+// Header returns the decoded header, making the scanner a drop-in
+// record source alongside *Reader.
+func (s *ParallelScanner) Header() *sam.Header { return s.header }
+
+// feed splits inflated blocks into record batches. carry accumulates a
+// record spanning block boundaries; when the record completes it
+// becomes the head of the batch of the block it ends in. The loop ends
+// by submitting a final batch whose err is io.EOF, a truncation error,
+// or the codec's error — always positioned after every complete record.
+func (s *ParallelScanner) feed(pipe *parpipe.Pipe[*decodeBatch], stop *atomic.Bool) {
+	defer pipe.Close()
+	var carry []byte
+	for !stop.Load() {
+		data, _, err := s.src.NextBlock()
+		if err != nil {
+			b := s.batch()
+			b.err = feedFinalErr(err, carry)
+			pipe.Submit(b)
+			return
+		}
+		b := s.batch()
+		b.data = data
+		pos := 0
+		// Complete a spanning record first.
+		if len(carry) > 0 {
+			if len(carry) < 4 {
+				take := 4 - len(carry)
+				if take > len(data) {
+					take = len(data)
+				}
+				carry = append(carry, data[:take]...)
+				pos = take
+			}
+			if len(carry) < 4 {
+				s.retire(b) // tiny block swallowed whole by the prefix
+				continue
+			}
+			size := int(int32(binary.LittleEndian.Uint32(carry)))
+			if size < minRecordBody {
+				b.err = fmt.Errorf("%w: block_size %d", ErrInvalidRecord, size)
+				pipe.Submit(b)
+				return
+			}
+			take := 4 + size - len(carry)
+			if m := len(data) - pos; m < take {
+				take = m
+			}
+			carry = append(carry, data[pos:pos+take]...)
+			pos += take
+			if len(carry) < 4+size {
+				s.retire(b) // record spans beyond this whole block
+				continue
+			}
+			b.head = carry
+			b.bodies = append(b.bodies, carry[4:])
+			carry = nil
+		}
+		// Whole records inside the block, parsed in place.
+		for {
+			avail := len(data) - pos
+			if avail < 4 {
+				break
+			}
+			size := int(int32(binary.LittleEndian.Uint32(data[pos:])))
+			if size < minRecordBody {
+				b.err = fmt.Errorf("%w: block_size %d", ErrInvalidRecord, size)
+				pipe.Submit(b)
+				return
+			}
+			if avail-4 < size {
+				break
+			}
+			b.bodies = append(b.bodies, data[pos+4:pos+4+size])
+			pos += 4 + size
+		}
+		// Tail: the start of a record continuing in the next block.
+		if pos < len(data) {
+			carry = append([]byte(nil), data[pos:]...)
+		}
+		if len(b.bodies) == 0 {
+			s.retire(b) // no record ended in this block
+			continue
+		}
+		pipe.Submit(b)
+	}
+}
+
+// feedFinalErr maps the codec's end-of-stream against any half-read
+// record, mirroring ReadBody's truncation errors.
+func feedFinalErr(err error, carry []byte) error {
+	if err == io.EOF && len(carry) > 0 {
+		if len(carry) < 4 {
+			return fmt.Errorf("%w: truncated record size", ErrInvalidRecord)
+		}
+		return fmt.Errorf("%w: truncated record body: %v", ErrInvalidRecord, io.ErrUnexpectedEOF)
+	}
+	return err
+}
+
+// decode is the worker function: materialise every body in the batch.
+// Records are allocated fresh per batch — DecodeRecord's tag slices
+// alias the record struct, so pooling them would let a consumer-retained
+// record be overwritten. A decode failure truncates the batch at the
+// failing record and replaces any later-positioned scan error.
+func (s *ParallelScanner) decode(b *decodeBatch) {
+	b.recs = make([]sam.Record, len(b.bodies))
+	for i := range b.bodies {
+		if err := DecodeRecord(b.bodies[i], &b.recs[i], s.header); err != nil {
+			b.recs = b.recs[:i]
+			b.err = err
+			break
+		}
+	}
+	if s.met != nil {
+		s.met.Add(int64(len(b.recs)))
+	}
+}
+
+// batch draws a recycled batch from the pool.
+func (s *ParallelScanner) batch() *decodeBatch {
+	return s.batchPool.Get().(*decodeBatch)
+}
+
+// retire recycles a consumed batch: the block buffer flows back to the
+// codec's inflate pool, the batch struct to the batch pool. The decoded
+// records are NOT pooled — consumers may retain them.
+func (s *ParallelScanner) retire(b *decodeBatch) {
+	if b.data != nil {
+		s.src.Recycle(b.data)
+		b.data = nil
+	}
+	b.head = nil
+	b.bodies = b.bodies[:0]
+	b.recs = nil
+	b.err = nil
+	s.batchPool.Put(b)
+}
+
+// Next decodes the next record into rec. It returns false at the clean
+// end of the stream, and false with an error on failure.
+func (s *ParallelScanner) Next(rec *sam.Record) (bool, error) {
+	if s.fallback {
+		err := s.br.ReadInto(rec)
+		if err == io.EOF {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if s.err != nil {
+		if s.err == io.EOF {
+			return false, nil
+		}
+		return false, s.err
+	}
+	for {
+		if s.cur != nil {
+			if s.idx < len(s.cur.recs) {
+				*rec = s.cur.recs[s.idx]
+				s.idx++
+				return true, nil
+			}
+			err := s.cur.err
+			s.retire(s.cur)
+			s.cur = nil
+			if err != nil {
+				s.err = err
+				if err == io.EOF {
+					return false, nil
+				}
+				return false, err
+			}
+		}
+		b, ok := <-s.pipe.Out()
+		if !ok {
+			// The feeder always submits a final error batch; a bare close
+			// only happens after it was consumed.
+			s.err = io.EOF
+			return false, nil
+		}
+		s.cur, s.idx = b, 0
+	}
+}
+
+// ReadInto adapts Next to the Reader-style contract (io.EOF at the
+// end), so the scanner satisfies the same record-source interfaces.
+func (s *ParallelScanner) ReadInto(rec *sam.Record) error {
+	ok, err := s.Next(rec)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return io.EOF
+	}
+	return nil
+}
+
+// Err returns the sticky error, nil at a clean EOF.
+func (s *ParallelScanner) Err() error {
+	if s.err == io.EOF {
+		return nil
+	}
+	return s.err
+}
+
+// Close stops the feeder and drains the decode pipeline. It does not
+// close the underlying Reader — close the scanner first, then the
+// reader. Safe to call after EOF or mid-stream.
+func (s *ParallelScanner) Close() error {
+	if s.fallback || s.pipe == nil {
+		return nil
+	}
+	s.stop.Store(true)
+	if s.cur != nil {
+		s.retire(s.cur)
+		s.cur = nil
+	}
+	for b := range s.pipe.Out() {
+		s.retire(b)
+	}
+	s.pipe = nil
+	if s.err == nil || s.err == io.EOF {
+		s.err = errors.New("bam: parallel scanner closed")
+	}
+	return nil
+}

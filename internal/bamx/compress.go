@@ -373,6 +373,8 @@ type CompressedFile struct {
 	cachedBlock int64 // index of the cached decompressed block, -1 if none
 	cache       []byte
 	body        []byte
+
+	ra *blockReadahead // non-nil after StartReadahead
 }
 
 // OpenCompressed validates the footer and table of a compressed BAMX
@@ -471,13 +473,26 @@ func (f *CompressedFile) NumRecords() int64 { return f.count }
 // NumBlocks returns the number of compressed blocks.
 func (f *CompressedFile) NumBlocks() int { return len(f.offsets) - 1 }
 
-// loadBlock decompresses block b into the single-block cache.
+// loadBlock decompresses block b into the single-block cache — inline
+// on the calling goroutine, or via the readahead pipeline when
+// StartReadahead is active, in which case the block was usually
+// inflated before this cache miss.
 func (f *CompressedFile) loadBlock(b int64) error {
 	if b == f.cachedBlock {
 		return nil
 	}
 	if b < 0 || int(b) >= f.NumBlocks() {
 		return fmt.Errorf("bamx: block %d out of range [0, %d)", b, f.NumBlocks())
+	}
+	if f.ra != nil {
+		data, err := f.ra.fetch(b)
+		if err != nil {
+			return err
+		}
+		f.ra.recycleData(f.cache)
+		f.cache = data
+		f.cachedBlock = b
+		return nil
 	}
 	compLen := int64(f.offsets[b+1] - f.offsets[b])
 	comp := make([]byte, compLen)

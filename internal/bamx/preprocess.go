@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"parseq/internal/bam"
+	"parseq/internal/bgzf"
 	"parseq/internal/sam"
 )
 
@@ -22,11 +23,18 @@ func PreprocessBAM(rs io.ReadSeeker, w io.Writer) (*Index, error) {
 }
 
 // PreprocessBAMWorkers is PreprocessBAM with the BGZF inflate side
-// running on codecWorkers goroutines (≤1 keeps the sequential codec).
-// The record scan itself stays sequential — the paper's constraint is
-// on record delimitation, not block decompression, so the codec is the
-// one layer that can be parallelised under it.
+// running on codecWorkers goroutines (0 selects the adaptive default,
+// bgzf.AutoWorkers; 1 forces the sequential codec). The record scan
+// itself stays sequential — the paper's constraint is on record
+// delimitation, not block decompression, so the codec is the one layer
+// that can be parallelised under it. Both passes walk the stream
+// through the zero-copy block scanner, so record bytes are never copied
+// out of the inflated blocks except at block boundaries; the emitted
+// BAMX bytes and BAIX index are bit-identical for every worker count.
 func PreprocessBAMWorkers(rs io.ReadSeeker, w io.Writer, codecWorkers int) (*Index, error) {
+	if codecWorkers <= 0 {
+		codecWorkers = bgzf.AutoWorkers()
+	}
 	start, err := rs.Seek(0, io.SeekCurrent)
 	if err != nil {
 		return nil, err
@@ -40,8 +48,9 @@ func PreprocessBAMWorkers(rs io.ReadSeeker, w io.Writer, codecWorkers int) (*Ind
 	var caps Caps
 	caps.QName = 2 // room for the "*" placeholder name
 	caps.Seq = 1
+	sc := bam.NewBodyScanner(br)
 	for {
-		body, err := br.ReadBody()
+		body, err := sc.Next()
 		if err == io.EOF {
 			break
 		}
@@ -69,8 +78,9 @@ func PreprocessBAMWorkers(rs io.ReadSeeker, w io.Writer, codecWorkers int) (*Ind
 		return nil, err
 	}
 	var entries []Entry
+	sc = bam.NewBodyScanner(br)
 	for {
-		body, err := br.ReadBody()
+		body, err := sc.Next()
 		if err == io.EOF {
 			break
 		}

@@ -1,0 +1,207 @@
+// Block readahead for compressed BAMX files. ConvertBAMZ's per-rank
+// cold path walks its record range in index order, which loadBlock
+// serves one block at a time: pread, inflate, consume, repeat — the
+// inflate sits on the consumer's critical path. The readahead runs the
+// pread+inflate of upcoming blocks on a parpipe pool ("bamz.inflate"
+// metrics) so the next block is usually decompressed before the
+// consumer's cache misses. Random access still works: a jump outside
+// the in-flight window drains the pipeline and restarts it at the
+// target block, exactly like the BGZF reader's Seek.
+
+package bamx
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"parseq/internal/bgzf"
+	"parseq/internal/obs"
+	"parseq/internal/parpipe"
+)
+
+// zraJob is one block moving through the readahead pipeline.
+type zraJob struct {
+	idx  int64
+	comp []byte // compressed block bytes (reused across jobs)
+	data []byte // decompressed block (detached into the cache on delivery)
+	err  error
+}
+
+// blockReadahead inflates upcoming blocks ahead of a mostly-sequential
+// consumer. It is single-consumer, like the CompressedFile it serves.
+type blockReadahead struct {
+	f       *CompressedFile
+	workers int
+
+	pipe *parpipe.Pipe[*zraJob]
+	stop *atomic.Bool
+	next int64 // block index the consumer will take next
+
+	jobPool  sync.Pool // *zraJob with comp scratch
+	dataPool sync.Pool // decompressed-block buffers
+	frPool   sync.Pool // flate readers (flate.Resetter)
+}
+
+// StartReadahead turns on block readahead with the given worker count
+// (≤ 0 selects the adaptive default, bgzf.AutoWorkers). It is a no-op
+// when already started or when the file has no blocks. Call Close when
+// abandoning the file before its last block, or the pipeline goroutines
+// are left parked.
+func (f *CompressedFile) StartReadahead(workers int) {
+	if f.ra != nil || f.NumBlocks() == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = bgzf.AutoWorkers()
+	}
+	ra := &blockReadahead{f: f, workers: workers}
+	ra.jobPool.New = func() any { return &zraJob{} }
+	f.ra = ra
+	ra.start(0)
+}
+
+// Close stops the readahead pipeline, if one was started. The file
+// itself wraps a caller-owned ReaderAt and needs no other teardown.
+func (f *CompressedFile) Close() error {
+	if f.ra != nil {
+		f.ra.drain()
+		f.ra = nil
+	}
+	return nil
+}
+
+// start launches a feeder + worker-pool generation beginning at block
+// index `at`.
+func (ra *blockReadahead) start(at int64) {
+	stop := &atomic.Bool{}
+	pipe := parpipe.NewObserved(ra.workers, 2*ra.workers, ra.inflate, obs.Default(), "bamz.inflate")
+	ra.stop = stop
+	ra.pipe = pipe
+	ra.next = at
+	n := int64(ra.f.NumBlocks())
+	go func() {
+		defer pipe.Close()
+		for i := at; i < n && !stop.Load(); i++ {
+			j := ra.jobPool.Get().(*zraJob)
+			j.idx = i
+			j.err = nil
+			pipe.Submit(j)
+		}
+	}()
+}
+
+// inflate is the worker function: pread and decompress one block,
+// reporting errors with the same wording as the inline loadBlock path.
+func (ra *blockReadahead) inflate(j *zraJob) {
+	f := ra.f
+	compLen := int64(f.offsets[j.idx+1] - f.offsets[j.idx])
+	if cap(j.comp) < int(compLen) {
+		j.comp = make([]byte, compLen)
+	}
+	j.comp = j.comp[:compLen]
+	if _, err := f.r.ReadAt(j.comp, int64(f.offsets[j.idx])); err != nil {
+		j.err = fmt.Errorf("%w: block %d: %v", ErrCorrupt, j.idx, err)
+		return
+	}
+	recs := int64(f.recsPerBlock)
+	if rem := f.count - j.idx*recs; rem < recs {
+		recs = rem
+	}
+	want := int(recs) * f.stride
+	if buf, _ := ra.dataPool.Get().([]byte); cap(buf) >= want {
+		j.data = buf[:want]
+	} else {
+		j.data = make([]byte, want)
+	}
+	src := bytes.NewReader(j.comp)
+	fr, _ := ra.frPool.Get().(io.ReadCloser)
+	if fr == nil {
+		fr = flate.NewReader(src)
+	} else if err := fr.(flate.Resetter).Reset(src, nil); err != nil {
+		j.err = fmt.Errorf("%w: block %d: %v", ErrCorrupt, j.idx, err)
+		return
+	}
+	if _, err := io.ReadFull(fr, j.data); err != nil {
+		j.err = fmt.Errorf("%w: block %d: %v", ErrCorrupt, j.idx, err)
+		return
+	}
+	ra.frPool.Put(fr)
+}
+
+// slack is how far ahead of ra.next a requested block may be before a
+// restart beats discarding the skipped blocks' inflation work.
+func (ra *blockReadahead) slack() int64 { return int64(4 * ra.workers) }
+
+// fetch delivers block b's decompressed bytes, restarting the pipeline
+// when the consumer jumps backwards or beyond the in-flight window.
+// Ownership of the returned buffer passes to the caller; recycleData
+// takes it back.
+func (ra *blockReadahead) fetch(b int64) ([]byte, error) {
+	if ra.pipe == nil || b < ra.next || b > ra.next+ra.slack() {
+		ra.restart(b)
+	}
+	for {
+		j, ok := <-ra.pipe.Out()
+		if !ok {
+			// Pipeline exhausted at the file's last block while the consumer
+			// still wants more (it re-reads within range): restart at b.
+			ra.restart(b)
+			continue
+		}
+		if j.idx < b {
+			// Skipped-over block within the window: drop its data, keep going.
+			ra.putJob(j)
+			continue
+		}
+		ra.next = b + 1
+		if err := j.err; err != nil {
+			ra.putJob(j) // keeps the buffers; the error block's data is dropped
+			return nil, err
+		}
+		data := j.data
+		j.data = nil
+		ra.putJob(j)
+		return data, nil
+	}
+}
+
+// putJob recycles a delivered job, pooling its buffers.
+func (ra *blockReadahead) putJob(j *zraJob) {
+	if j.data != nil {
+		ra.dataPool.Put(j.data[:0])
+		j.data = nil
+	}
+	j.err = nil
+	ra.jobPool.Put(j)
+}
+
+// recycleData takes a fetch'd buffer back for reuse.
+func (ra *blockReadahead) recycleData(buf []byte) {
+	if cap(buf) > 0 {
+		ra.dataPool.Put(buf[:0])
+	}
+}
+
+// restart drains the current generation and starts a new one at block
+// `at`.
+func (ra *blockReadahead) restart(at int64) {
+	ra.drain()
+	ra.start(at)
+}
+
+// drain cancels the feeder and consumes every in-flight job, leaving no
+// goroutine behind.
+func (ra *blockReadahead) drain() {
+	if ra.pipe == nil {
+		return
+	}
+	ra.stop.Store(true)
+	for j := range ra.pipe.Out() {
+		ra.putJob(j)
+	}
+	ra.pipe = nil
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 )
 
 const (
@@ -81,6 +82,26 @@ type BlockWriter interface {
 	Offset() VOffset
 	Flush() error
 	Close() error
+}
+
+// BlockSource is the zero-copy face both readers present on top of
+// BlockReader: whole inflated blocks are handed to the caller, who
+// parses them in place instead of draining them through Read's copy
+// loop, and hands buffers back through Recycle. It is the read-side
+// foundation of the parallel BAM record decoder (internal/bam).
+type BlockSource interface {
+	BlockReader
+	// NextBlock returns the unread remainder of the current block — or
+	// the next non-empty block — without copying, together with the
+	// virtual offset of its first byte. Ownership of the slice passes
+	// to the caller until it is returned via Recycle. The stream
+	// position advances past the returned bytes, so NextBlock and Read
+	// calls may be interleaved. At the end of the stream it returns
+	// io.EOF.
+	NextBlock() (data []byte, off VOffset, err error)
+	// Recycle hands a NextBlock buffer back for reuse. Optional —
+	// skipping it only costs allocations.
+	Recycle([]byte)
 }
 
 // deflator owns one reusable flate writer plus the scratch it deflates
@@ -361,6 +382,8 @@ type Reader struct {
 	rs         io.ReadSeeker // non-nil when seeking is possible
 	block      []byte        // current uncompressed block
 	raw        []byte        // reusable compressed-block buffer
+	spareMu    sync.Mutex    // guards spare: Recycle may run on another goroutine
+	spare      [][]byte      // Recycle'd block buffers awaiting reuse
 	pos        int           // read position within block
 	blockStart int64         // compressed offset of current block
 	nextStart  int64         // compressed offset of next block
@@ -436,6 +459,53 @@ func (r *Reader) Read(p []byte) (int, error) {
 		total += n
 	}
 	return total, nil
+}
+
+// NextBlock implements BlockSource: it returns the unread remainder of
+// the current block, or loads and returns the next non-empty one,
+// detaching the buffer so the caller can parse it in place. The
+// sequential codec gains no concurrency from this, but sharing the
+// interface lets block-level consumers (the parallel BAM decoder) run
+// unchanged over either reader.
+func (r *Reader) NextBlock() ([]byte, VOffset, error) {
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	for r.pos == len(r.block) {
+		if err := r.readBlock(); err != nil {
+			r.err = err
+			return nil, 0, err
+		}
+	}
+	data := r.block[r.pos:]
+	off := MakeVOffset(r.blockStart, r.pos)
+	// Detach the buffer; the next readBlock inflates into a recycled
+	// spare (or allocates when none is available).
+	r.block = nil
+	r.spareMu.Lock()
+	if n := len(r.spare); n > 0 {
+		r.block, r.spare = r.spare[n-1], r.spare[:n-1]
+	}
+	r.spareMu.Unlock()
+	r.blockStart = r.nextStart
+	r.pos = 0
+	return data, off, nil
+}
+
+// Recycle implements BlockSource, handing a NextBlock buffer back for
+// reuse. The free list is small and bounded: the zero-copy consumers
+// hold at most a couple of blocks at a time. Like the parallel
+// reader's, Recycle is safe to call from a goroutine other than the
+// consumer — the parallel record decoder recycles from its drain side.
+func (r *Reader) Recycle(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	r.spareMu.Lock()
+	if len(r.spare) < 4 {
+		r.spare = append(r.spare, b[:0])
+	}
+	r.spareMu.Unlock()
 }
 
 // Seek positions the reader at a virtual offset. It requires the

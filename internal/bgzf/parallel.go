@@ -47,15 +47,31 @@ func newCodecObs(reg *obs.Registry, dir string) *codecObs {
 	}
 }
 
+// maxAutoWorkers caps the adaptive default. Past ~8 workers a BGZF
+// pool saturates memory bandwidth before CPU, and a process commonly
+// runs several pools at once (reader, writer, record decoder); an
+// explicit worker count still goes uncapped.
+const maxAutoWorkers = 8
+
 // resolveWorkers applies the worker-count convention shared by the
 // parallel codec constructors: n > 0 is taken as given, anything else
-// means one worker per available CPU.
+// means one worker per available CPU, capped at maxAutoWorkers.
 func resolveWorkers(n int) int {
 	if n > 0 {
 		return n
 	}
-	return runtime.GOMAXPROCS(0)
+	if p := runtime.GOMAXPROCS(0); p < maxAutoWorkers {
+		return p
+	}
+	return maxAutoWorkers
 }
+
+// AutoWorkers is the adaptive default worker count used across the
+// tree when a codec/decoder knob is left at zero: one worker per
+// available CPU, capped so stacked pools do not oversubscribe the
+// machine. On a single-CPU host it resolves to 1, which every
+// constructor treats as the sequential path.
+func AutoWorkers() int { return resolveWorkers(0) }
 
 // pipeDepth bounds in-flight blocks per pipeline: enough read-ahead to
 // keep every worker busy across scheduling hiccups, small enough to cap
@@ -308,8 +324,9 @@ func (w *ParallelWriter) Close() error {
 // verified uncompressed block on the way out.
 type rblock struct {
 	start int64  // compressed file offset of the member
+	next  int64  // compressed file offset of the following member
 	raw   []byte // compressed data + footer (owned by the block)
-	data  []byte // decompressed payload
+	data  []byte // decompressed payload (detachable via NextBlock)
 	err   error
 }
 
@@ -337,8 +354,9 @@ type ParallelReader struct {
 	blockStart int64
 	err        error
 
-	blkPool sync.Pool // *rblock, recycled raw+data buffers
-	infPool sync.Pool // *inflater, one per active worker
+	blkPool  sync.Pool // *rblock, recycled raw buffers
+	dataPool sync.Pool // []byte inflated-payload buffers (NextBlock recycling)
+	infPool  sync.Pool // *inflater, one per active worker
 
 	reg *obs.Registry // registry at construction time (may be nil)
 	met *codecObs     // nil when telemetry is disabled
@@ -371,19 +389,28 @@ func (r *ParallelReader) start(at int64) {
 }
 
 // scanLoop reads raw members in file order and feeds the worker pool.
-// Empty members are submitted too — the workers verify their CRCs just
-// as the sequential codec does — but EOF-marker bookkeeping happens here
-// because it depends on member order. The loop ends by submitting a
-// sentinel block carrying io.EOF, ErrNoEOFMarker, or the scan error.
+// The raw bytes come through a prefetcher, so the file read of the next
+// chunk overlaps with member parsing and inflation. Empty members are
+// submitted too — the workers verify their CRCs just as the sequential
+// codec does — but EOF-marker bookkeeping happens here because it
+// depends on member order. The loop ends by submitting a sentinel block
+// carrying io.EOF, ErrNoEOFMarker, or the scan error.
+//
+// Defer order matters for Seek: the prefetcher is joined *before* the
+// pipeline closes, so once drainPipeline sees the output channel close,
+// no goroutine of this generation can still touch the underlying
+// reader and Seek may reposition it.
 func (r *ParallelReader) scanLoop(pipe *parpipe.Pipe[*rblock], stop *atomic.Bool, at int64) {
 	defer pipe.Close()
-	scan := blockScanner{r: r.r}
+	pf := newPrefetcher(r.r, r.reg)
+	defer pf.Close()
+	scan := blockScanner{r: pf}
 	next := at
 	sawEOF := false
 	for !stop.Load() {
 		blk := r.blkPool.Get().(*rblock)
 		blk.start = next
-		blk.data = blk.data[:0]
+		blk.data = r.dataBuf()
 		blk.err = nil
 		raw, bsize, err := scan.next(blk.raw[:0])
 		blk.raw = raw
@@ -401,11 +428,20 @@ func (r *ParallelReader) scanLoop(pipe *parpipe.Pipe[*rblock], stop *atomic.Bool
 			return
 		}
 		next += int64(bsize)
+		blk.next = next
 		// The footer's ISIZE tells us whether this member is empty without
 		// inflating it; a trailing empty member is the EOF marker.
 		sawEOF = binary.LittleEndian.Uint32(raw[len(raw)-4:]) == 0
 		pipe.Submit(blk)
 	}
+}
+
+// dataBuf draws an inflated-payload buffer from the recycle pool.
+func (r *ParallelReader) dataBuf() []byte {
+	if v := r.dataPool.Get(); v != nil {
+		return v.([]byte)
+	}
+	return nil
 }
 
 // inflateBlock is the worker function: decompress and CRC-check one
@@ -431,8 +467,14 @@ func (r *ParallelReader) inflateBlock(blk *rblock) {
 	}
 }
 
-// recycle returns a finished block's buffers to the pool.
+// recycle returns a finished block's buffers to their pools. The data
+// buffer travels separately from the rblock because NextBlock detaches
+// it into the caller's hands.
 func (r *ParallelReader) recycle(blk *rblock) {
+	if blk.data != nil {
+		r.dataPool.Put(blk.data[:0])
+		blk.data = nil
+	}
 	blk.err = nil
 	r.blkPool.Put(blk)
 }
@@ -466,6 +508,43 @@ func (r *ParallelReader) nextBlock() error {
 // Offset returns the virtual offset of the next byte Read will return.
 func (r *ParallelReader) Offset() VOffset { return MakeVOffset(r.blockStart, r.pos) }
 
+// NextBlock implements BlockSource: the unread remainder of the current
+// delivered block — or the next non-empty one — is detached from the
+// pipeline and handed to the caller to parse in place. This is the
+// zero-copy fast path: Read memcpy's every inflated byte a second time,
+// NextBlock hands over the worker's own buffer.
+func (r *ParallelReader) NextBlock() ([]byte, VOffset, error) {
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	for {
+		if r.cur != nil && r.pos < len(r.cur.data) {
+			blk := r.cur
+			data := blk.data[r.pos:]
+			off := MakeVOffset(blk.start, r.pos)
+			blk.data = nil // detached: the caller owns the bytes now
+			r.cur = nil
+			r.blockStart = blk.next
+			r.pos = 0
+			r.recycle(blk)
+			return data, off, nil
+		}
+		if err := r.nextBlock(); err != nil {
+			r.err = err
+			return nil, 0, err
+		}
+	}
+}
+
+// Recycle implements BlockSource, returning a NextBlock buffer to the
+// inflate workers' pool. Safe to call from a goroutine other than the
+// consumer (the parallel BAM decoder recycles from its drain side).
+func (r *ParallelReader) Recycle(b []byte) {
+	if cap(b) > 0 {
+		r.dataPool.Put(b[:0])
+	}
+}
+
 // Read implements io.Reader over the decompressed stream.
 func (r *ParallelReader) Read(p []byte) (int, error) {
 	if r.err != nil {
@@ -491,10 +570,11 @@ func (r *ParallelReader) Read(p []byte) (int, error) {
 	return total, nil
 }
 
-// Seek positions the reader at a virtual offset: the read-ahead pipeline
-// is drained, the underlying reader repositioned at the target block,
-// and a fresh pipeline started there. It requires the underlying reader
-// to be an io.ReadSeeker.
+// Seek positions the reader at a virtual offset: the read-ahead
+// pipeline is drained — which joins the file prefetcher, so no stale
+// readahead buffer or in-flight read survives — the underlying reader
+// is repositioned at the target block, and a fresh pipeline started
+// there. It requires the underlying reader to be an io.ReadSeeker.
 func (r *ParallelReader) Seek(v VOffset) error {
 	if r.rs == nil {
 		return errors.New("bgzf: underlying reader is not seekable")
@@ -554,10 +634,13 @@ func (r *ParallelReader) Close() error {
 	return nil
 }
 
-// Interface conformance: both codecs are interchangeable block streams.
+// Interface conformance: both codecs are interchangeable block streams,
+// with and without the zero-copy face.
 var (
 	_ BlockReader = (*Reader)(nil)
 	_ BlockReader = (*ParallelReader)(nil)
+	_ BlockSource = (*Reader)(nil)
+	_ BlockSource = (*ParallelReader)(nil)
 	_ BlockWriter = (*Writer)(nil)
 	_ BlockWriter = (*ParallelWriter)(nil)
 )

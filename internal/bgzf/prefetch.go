@@ -1,0 +1,138 @@
+// Async file readahead for the parallel BGZF reader. Without it the
+// scan goroutine alternates between io.ReadFull on the underlying
+// reader and handing members to the inflate pool, so every disk stall
+// stops the whole pipeline. The prefetcher moves the raw reads onto a
+// dedicated goroutine with a small ring of fixed-size buffers: the next
+// chunk is (usually) already in memory when the scanner asks for it,
+// overlapping file I/O with inflation the same way inflation already
+// overlaps with consumption.
+
+package bgzf
+
+import (
+	"io"
+
+	"parseq/internal/obs"
+)
+
+const (
+	// prefetchChunk is the size of one readahead buffer: ~8 compressed
+	// blocks ahead, enough to hide disk latency, small enough that a
+	// Seek discards at most a megabyte of readahead.
+	prefetchChunk = 512 << 10
+	// prefetchDepth double-buffers the readahead: one chunk being
+	// consumed while the next is being filled.
+	prefetchDepth = 2
+)
+
+// pchunk is one filled readahead buffer. err (if any) positions after
+// the data it arrived with.
+type pchunk struct {
+	data []byte
+	err  error
+}
+
+// prefetcher is an io.Reader that reads ahead of its consumer on a
+// dedicated goroutine. One is created per scan generation; Close joins
+// the fill goroutine, so once it returns the underlying reader has no
+// in-flight Read and is safe to Seek.
+type prefetcher struct {
+	out  chan pchunk
+	free chan []byte
+	stop chan struct{}
+	done chan struct{}
+
+	cur []byte // chunk currently being consumed
+	pos int
+	err error // sticky, delivered after cur is drained
+
+	chunks *obs.Counter // nil when telemetry is disabled
+	bytes  *obs.Counter
+}
+
+// newPrefetcher starts reading ahead of src immediately.
+func newPrefetcher(src io.Reader, reg *obs.Registry) *prefetcher {
+	p := &prefetcher{
+		out:  make(chan pchunk, prefetchDepth),
+		free: make(chan []byte, prefetchDepth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if reg != nil {
+		p.chunks = reg.Counter("bgzf.prefetch.chunks")
+		p.bytes = reg.Counter("bgzf.prefetch.bytes")
+	}
+	for i := 0; i < prefetchDepth; i++ {
+		p.free <- make([]byte, prefetchChunk)
+	}
+	go p.fill(src)
+	return p
+}
+
+// fill reads fixed-size chunks ahead of the consumer until the stream
+// ends, a read fails, or Close is called. A short final read is
+// delivered together with io.EOF so the goroutine never performs a
+// read whose result nobody will consume.
+func (p *prefetcher) fill(src io.Reader) {
+	defer close(p.done)
+	for {
+		var buf []byte
+		select {
+		case buf = <-p.free:
+		case <-p.stop:
+			return
+		}
+		n, err := io.ReadFull(src, buf)
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		if p.chunks != nil && n > 0 {
+			p.chunks.Add(1)
+			p.bytes.Add(int64(n))
+		}
+		select {
+		case p.out <- pchunk{data: buf[:n], err: err}:
+		case <-p.stop:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Read drains the readahead in order, recycling consumed buffers back
+// to the fill goroutine.
+func (p *prefetcher) Read(b []byte) (int, error) {
+	for p.pos == len(p.cur) {
+		if p.err != nil {
+			return 0, p.err
+		}
+		if p.cur != nil {
+			select {
+			case p.free <- p.cur[:cap(p.cur)]:
+			default: // filler already stopped; drop for the GC
+			}
+			p.cur = nil
+		}
+		c := <-p.out
+		p.cur, p.pos, p.err = c.data, 0, c.err
+	}
+	n := copy(b, p.cur[p.pos:])
+	p.pos += n
+	return n, nil
+}
+
+// Close stops the readahead and joins the fill goroutine. Undelivered
+// chunks are dropped; nothing is leaked and the underlying reader is
+// idle when Close returns, so the caller may Seek it.
+func (p *prefetcher) Close() {
+	close(p.stop)
+	for {
+		select {
+		case <-p.out: // unblock a filler parked on delivery
+		case <-p.done:
+			return
+		}
+	}
+}

@@ -163,6 +163,17 @@ func convertBAMZRange(path string, entries []bamx.Entry, useRegion bool,
 	if err != nil {
 		return stats, err
 	}
+	if opts.CodecWorkers > 1 {
+		// Inflate ahead of the record loop. The codec worker budget is
+		// shared across ranks; even a single readahead worker overlaps
+		// decompression with conversion.
+		per := opts.CodecWorkers / opts.Cores
+		if per < 1 {
+			per = 1
+		}
+		zf.StartReadahead(per)
+		defer zf.Close()
+	}
 
 	w, err := newRankWriter(opts, enc, zf.Header(), rank)
 	if err != nil {

@@ -1,6 +1,7 @@
 package conv
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -77,6 +78,29 @@ func TestCodecWorkersProduceIdenticalArtifacts(t *testing.T) {
 		t.Fatalf("merged record counts differ: %d vs %d", nSeq, nPar)
 	}
 	mustEqualFiles(t, mergedSeq, mergedPar)
+}
+
+// The full worker ladder — the adaptive default (0), sequential (1) and
+// explicit pools (4, 8) — must produce byte-identical BAMX and BAIX
+// files: codec parallelism and the parallel record scanner may never
+// show in the preprocessing artifacts.
+func TestPreprocessBAMWorkerSweepIdentical(t *testing.T) {
+	_, bamPath, _ := writeDataset(t, 400)
+	dir := t.TempDir()
+	refX := filepath.Join(dir, "ref.bamx")
+	refIx := filepath.Join(dir, "ref.baix")
+	if _, err := PreprocessBAMFileWorkers(bamPath, refX, refIx, 1); err != nil {
+		t.Fatalf("workers=1 preprocess: %v", err)
+	}
+	for _, workers := range []int{0, 4, 8} {
+		x := filepath.Join(dir, fmt.Sprintf("w%d.bamx", workers))
+		ix := filepath.Join(dir, fmt.Sprintf("w%d.baix", workers))
+		if _, err := PreprocessBAMFileWorkers(bamPath, x, ix, workers); err != nil {
+			t.Fatalf("workers=%d preprocess: %v", workers, err)
+		}
+		mustEqualFiles(t, refX, x)
+		mustEqualFiles(t, refIx, ix)
+	}
 }
 
 func mustEqualFiles(t *testing.T, a, b string) {

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parseq/internal/bgzf"
 	"parseq/internal/formats"
 	"parseq/internal/sam"
 )
@@ -126,10 +127,13 @@ type Options struct {
 	// conversion). Only the BAMX-based converters support it.
 	Region *Region
 	// CodecWorkers is the number of BGZF codec goroutines used wherever
-	// BAM streams are read or written; 0 or 1 keeps the sequential
-	// codec. The codec parallelism is orthogonal to Cores: Cores splits
-	// records across ranks, CodecWorkers pipelines block
-	// compression/decompression under each stream.
+	// BAM streams are read or written. 0 (the default) selects the
+	// adaptive count — one worker per CPU, capped (bgzf.AutoWorkers) —
+	// so CLIs get the parallel codec without flags; 1 forces the
+	// sequential codec (the paper-faithful baseline). The codec
+	// parallelism is orthogonal to Cores: Cores splits records across
+	// ranks, CodecWorkers pipelines block compression/decompression
+	// under each stream.
 	CodecWorkers int
 }
 
@@ -140,8 +144,8 @@ func (o *Options) normalize() error {
 	if o.Cores < 1 {
 		o.Cores = 1
 	}
-	if o.CodecWorkers < 0 {
-		o.CodecWorkers = 0
+	if o.CodecWorkers <= 0 {
+		o.CodecWorkers = bgzf.AutoWorkers()
 	}
 	if o.OutDir == "" {
 		o.OutDir = "."

@@ -163,8 +163,10 @@ func Ablations(sc Scale) (*Report, error) {
 		return nil, err
 	}
 	compressed, err := measure(func() error {
+		// CodecWorkers pinned to 1: this ablation isolates the inherent
+		// decompression cost of BAMZ, so block readahead stays off.
 		_, err := conv.ConvertBAMZ(bamzPath, baixPath, conv.Options{
-			Format: "bed", Cores: 1, OutDir: sc.TmpDir, OutPrefix: "abl_pz",
+			Format: "bed", Cores: 1, OutDir: sc.TmpDir, OutPrefix: "abl_pz", CodecWorkers: 1,
 		})
 		return err
 	})

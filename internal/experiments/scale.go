@@ -20,8 +20,11 @@ type Scale struct {
 	TmpDir  string // scratch directory; "" uses a fresh temp dir
 	KeepTmp bool   // leave scratch files behind for inspection
 	// CodecWorkers is the number of BGZF/deflate codec goroutines the
-	// measured BAM preprocessing and BAMZ compression steps use; 0 or 1
-	// keeps the sequential codec (the paper's configuration).
+	// BAM preprocessing and BAMZ compression steps use; 0 selects the
+	// adaptive default (bgzf.AutoWorkers), 1 the sequential codec. The
+	// *measured* sequential baselines (Table I BAM→SAM, the BAMZ
+	// ablation) pin their own codec to 1 regardless, preserving the
+	// paper's configuration.
 	CodecWorkers int
 	Machine      cluster.Machine
 	coresFig     []int // core counts for the figure sweeps

@@ -100,8 +100,10 @@ func Table1(sc Scale) (*Report, error) {
 
 	// --- BAM → SAM ---
 	noPreBAM, err := bestOf(func() (time.Duration, error) {
+		// CodecWorkers pinned to 1: Table I reproduces the *sequential*
+		// baseline, so the adaptive codec default must not kick in here.
 		res, err := conv.ConvertBAMSequential(bamPath, conv.Options{
-			Format: "sam", OutDir: outDir, OutPrefix: "t1_bam_nopre",
+			Format: "sam", OutDir: outDir, OutPrefix: "t1_bam_nopre", CodecWorkers: 1,
 		})
 		if err != nil {
 			return 0, err

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"parseq/internal/bam"
+	"parseq/internal/bgzf"
 	"parseq/internal/obs"
 	"parseq/internal/sam"
 )
@@ -30,10 +31,13 @@ type Options struct {
 	Cores int
 	// TmpDir receives the temporary runs; "" uses the OS default.
 	TmpDir string
-	// CodecWorkers is the number of BGZF codec goroutines per BAM
-	// stream — the input reader, every spilled run, and the merged
-	// output; 0 or 1 keeps the sequential codec. Orthogonal to Cores,
-	// exactly as in the converter runtime.
+	// CodecWorkers is the BGZF codec/decoder worker budget. The input
+	// reader gets the full budget — codec workers plus, for BAM input,
+	// the parallel record decoder (bam.ParallelScanner) — while spilled
+	// runs and merge readers share it, clamped per stream so many runs
+	// do not multiply the goroutine count. 0 selects the adaptive
+	// default (bgzf.AutoWorkers); 1 forces the sequential paths.
+	// Orthogonal to Cores, exactly as in the converter runtime.
 	CodecWorkers int
 }
 
@@ -44,6 +48,22 @@ func (o *Options) normalize() {
 	if o.Cores < 1 {
 		o.Cores = 1
 	}
+	if o.CodecWorkers <= 0 {
+		o.CodecWorkers = bgzf.AutoWorkers()
+	}
+}
+
+// perStreamWorkers divides one codec worker budget across streams that
+// are open simultaneously (parallel spill writers, merge readers).
+func perStreamWorkers(budget, streams int) int {
+	if streams < 1 {
+		streams = 1
+	}
+	per := budget / streams
+	if per < 1 {
+		per = 1
+	}
+	return per
 }
 
 // key is a record's coordinate sort key. Unmapped records (refID -1) map
@@ -84,6 +104,7 @@ type recordSource interface {
 
 // SortSAMToBAM sorts a SAM file into a coordinate-sorted BAM file.
 func SortSAMToBAM(samPath, outPath string, opts Options) (int64, error) {
+	opts.normalize()
 	in, err := os.Open(samPath)
 	if err != nil {
 		return 0, err
@@ -96,8 +117,11 @@ func SortSAMToBAM(samPath, outPath string, opts Options) (int64, error) {
 	return sortToBAM(src, outPath, opts)
 }
 
-// SortBAM sorts a BAM file into a coordinate-sorted BAM file.
+// SortBAM sorts a BAM file into a coordinate-sorted BAM file. With more
+// than one codec worker the input decodes through bam.ParallelScanner —
+// record order and output bytes stay identical to the sequential path.
 func SortBAM(bamPath, outPath string, opts Options) (int64, error) {
+	opts.normalize()
 	in, err := os.Open(bamPath)
 	if err != nil {
 		return 0, err
@@ -108,6 +132,11 @@ func SortBAM(bamPath, outPath string, opts Options) (int64, error) {
 		return 0, err
 	}
 	defer src.Close()
+	if opts.CodecWorkers > 1 {
+		sc := bam.NewParallelScanner(src, opts.CodecWorkers)
+		defer sc.Close() // runs before src.Close: the scanner owns the stream
+		return sortToBAM(sc, outPath, opts)
+	}
 	return sortToBAM(src, outPath, opts)
 }
 
@@ -137,6 +166,7 @@ func sortToBAM(src recordSource, outPath string, opts Options) (int64, error) {
 	var runMu sync.Mutex
 	var wg sync.WaitGroup
 	workerErr := make([]error, opts.Cores)
+	spillWorkers := perStreamWorkers(opts.CodecWorkers, opts.Cores)
 	for w := 0; w < opts.Cores; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -144,7 +174,7 @@ func sortToBAM(src recordSource, outPath string, opts Options) (int64, error) {
 			for j := range jobs {
 				SortRecords(header, j.recs)
 				path := filepath.Join(tmpDir, fmt.Sprintf("run%06d.bam", j.idx))
-				if err := writeRun(path, header, j.recs, opts.CodecWorkers); err != nil {
+				if err := writeRun(path, header, j.recs, spillWorkers); err != nil {
 					workerErr[worker] = err
 					// Drain remaining jobs so the producer never blocks.
 					continue
@@ -283,6 +313,9 @@ func mergeRuns(runPaths []string, header *sam.Header, outPath string, codecWorke
 		}
 	}()
 	h := &mergeHeap{}
+	// The merge keeps every run open at once; clamp the per-run codec
+	// worker count so k runs never cost k × budget goroutines.
+	runWorkers := perStreamWorkers(codecWorkers, len(runPaths))
 	for i, path := range runPaths {
 		f, err := os.Open(path)
 		if err != nil {
@@ -290,7 +323,7 @@ func mergeRuns(runPaths []string, header *sam.Header, outPath string, codecWorke
 			return err
 		}
 		files[i] = f
-		r, err := bam.NewReader(f, bam.WithCodecWorkers(codecWorkers))
+		r, err := bam.NewReader(f, bam.WithCodecWorkers(runWorkers))
 		if err != nil {
 			out.Close()
 			return err

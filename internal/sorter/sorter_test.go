@@ -2,6 +2,7 @@ package sorter
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -206,6 +207,38 @@ func BenchmarkSortSAMToBAM(b *testing.B) {
 		out := filepath.Join(b.TempDir(), "s.bam")
 		if _, err := SortSAMToBAM(samPath, out, Options{ChunkRecords: 1024, Cores: 4}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// SortBAM with codec workers routes the input through the parallel
+// record scanner; output bytes must match the sequential path exactly
+// across the worker ladder.
+func TestSortBAMCodecWorkersIdentical(t *testing.T) {
+	_, bamPath, _ := unsortedDataset(t, 800)
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "w1.bam")
+	opts := Options{ChunkRecords: 128, Cores: 2, CodecWorkers: 1}
+	if _, err := SortBAM(bamPath, ref, opts); err != nil {
+		t.Fatalf("CodecWorkers=1 sort: %v", err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4, 8} {
+		out := filepath.Join(dir, fmt.Sprintf("w%d.bam", workers))
+		opts.CodecWorkers = workers
+		if _, err := SortBAM(bamPath, out, opts); err != nil {
+			t.Fatalf("CodecWorkers=%d sort: %v", workers, err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("CodecWorkers=%d output differs from sequential (%d vs %d bytes)",
+				workers, len(got), len(want))
 		}
 	}
 }
