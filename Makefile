@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-decode vet staticcheck fmt-check bench-smoke bench-decode metrics-smoke ci
+.PHONY: all build test race race-decode race-convert vet staticcheck fmt-check bench-smoke bench-decode bench-convert metrics-smoke ci
 
 all: build
 
@@ -23,6 +23,12 @@ race:
 # faster feedback than the full `race` sweep when touching that code.
 race-decode:
 	$(GO) test -race -count=1 ./internal/bgzf ./internal/bam ./internal/bamx ./internal/sorter
+
+# Focused race run over the parallel convert/write path (byte-slice
+# parsing, the batched line pipeline, the shared deflate pool and the
+# parpipe pool plumbing under it).
+race-convert:
+	$(GO) test -race -count=1 ./internal/conv ./internal/sam ./internal/formats ./internal/bgzf ./internal/parpipe
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +55,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkBGZF' -benchtime 1x ./internal/bgzf
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelBAMScan' -benchtime 1x ./internal/bam
 	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchtime 1x ./internal/obs
+	$(GO) test -run '^$$' -bench 'BenchmarkConvertSAM$$' -benchtime 1x ./internal/conv
 
 # Real measurement of the BAM decode worker sweep (sequential baseline
 # vs bam.ParallelScanner at 1/2/4/8 workers), recorded for comparison
@@ -62,11 +69,31 @@ bench-decode:
 		echo '  "benchmark": "BenchmarkParallelBAMScan",'; \
 		echo "  \"cpus\": $$(nproc),"; \
 		echo '  "output": ['; \
-		echo "$$out" | sed 's/\\/\\\\/g; s/"/\\"/g; s/^/    "/; s/$$/",/' | sed '$$ s/,$$//'; \
+		echo "$$out" | sed 's/\\/\\\\/g; s/"/\\"/g; s/\t/\\t/g; s/^/    "/; s/$$/",/' | sed '$$ s/,$$//'; \
 		echo '  ]'; \
 		echo '}'; \
 	} > BENCH_decode.json; \
 	echo "wrote BENCH_decode.json"
+
+# Real measurement of the pipelined converter: the worker sweep, the
+# pre-PR loop baseline, and the paired before/after run whose "speedup"
+# metric is the headline number (pairing the two passes per iteration
+# and taking per-side minima keeps the ratio meaningful on hosts with
+# CPU steal, where separately-timed runs drift 2-4x between runs).
+bench-convert:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkConvertSAM$$|BenchmarkConvertSAMPrePR$$' -benchtime 3x ./internal/conv && \
+		$(GO) test -run '^$$' -bench 'BenchmarkConvertSAMSpeedup$$' -benchtime 25x ./internal/conv); \
+	status=$$?; echo "$$out"; [ $$status -eq 0 ] || exit $$status; \
+	{ \
+		echo '{'; \
+		echo '  "benchmark": "BenchmarkConvertSAM",'; \
+		echo "  \"cpus\": $$(nproc),"; \
+		echo '  "output": ['; \
+		echo "$$out" | sed 's/\\/\\\\/g; s/"/\\"/g; s/\t/\\t/g; s/^/    "/; s/$$/",/' | sed '$$ s/,$$//'; \
+		echo '  ]'; \
+		echo '}'; \
+	} > BENCH_convert.json; \
+	echo "wrote BENCH_convert.json"
 
 # End-to-end telemetry check: a real conversion run must produce a
 # metrics snapshot with the documented schema (MPI wait, codec
@@ -74,5 +101,5 @@ bench-decode:
 metrics-smoke:
 	$(GO) test -run 'TestMetricsSchema' -count=1 ./internal/obsflag
 
-ci: vet staticcheck fmt-check build race race-decode bench-smoke metrics-smoke
+ci: vet staticcheck fmt-check build race race-decode race-convert bench-smoke metrics-smoke
 	@echo "ci: all checks passed"

@@ -112,7 +112,8 @@ func runVerify(path string) {
 	xf, f := open(path)
 	defer f.Close()
 	scan := xf.Scan(0, xf.NumRecords())
-	var rec sam.Record
+	var rec, back sam.Record
+	var line []byte
 	n := int64(0)
 	for {
 		ok, err := scan.Next(&rec)
@@ -122,8 +123,10 @@ func runVerify(path string) {
 		if !ok {
 			break
 		}
-		// Each record must render and reparse as valid SAM.
-		if _, err := sam.ParseRecord(rec.String()); err != nil {
+		// Each record must render and reparse as valid SAM; the byte
+		// round-trip reuses line and back across records.
+		line = rec.AppendTo(line[:0])
+		if err := sam.ParseRecordIntoBytes(&back, line); err != nil {
 			die(fmt.Errorf("record %d: %w", n, err))
 		}
 		n++

@@ -30,6 +30,7 @@ func main() {
 		tmp      = flag.String("tmpdir", "", "scratch directory (default: a fresh temp dir)")
 		keep     = flag.Bool("keep", false, "keep scratch files")
 		codec    = flag.Int("codec-workers", 0, "BGZF codec goroutines for BAM/BAMZ steps (0: auto, one per CPU capped; 1: sequential codec)")
+		parse    = flag.Int("parse-workers", 0, "per-rank SAM parse/encode goroutines for the measured text conversions (0: auto; 1: sequential)")
 		obsFlags = obsflag.Register(nil)
 	)
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 	sc.TmpDir = *tmp
 	sc.KeepTmp = *keep
 	sc.CodecWorkers = *codec
+	sc.ParseWorkers = *parse
 
 	if *exp == "all" {
 		if err := parseq.RunAllExperiments(os.Stdout, sc); err != nil {

@@ -23,6 +23,7 @@ func main() {
 		cores    = flag.Int("p", 1, "parallel chunk-sort workers")
 		chunk    = flag.Int("chunk", 0, "records per in-memory chunk (default 100000)")
 		codec    = flag.Int("codec-workers", 0, "BGZF codec goroutines per BAM stream (0: auto, one per CPU capped; 1: sequential codec)")
+		shared   = flag.Bool("shared-codec", false, "compress spilled runs on the process-wide shared deflate pool")
 		obsFlags = obsflag.Register(nil)
 	)
 	flag.Parse()
@@ -45,7 +46,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "samsort:", err)
 		}
 	}()
-	opts := sorter.Options{ChunkRecords: *chunk, Cores: *cores, CodecWorkers: *codec}
+	opts := sorter.Options{ChunkRecords: *chunk, Cores: *cores, CodecWorkers: *codec, SharedCodec: *shared}
 	var n int64
 	switch {
 	case strings.HasSuffix(*in, ".sam"):

@@ -33,6 +33,7 @@ func main() {
 		preCores  = flag.Int("pre-p", 0, "preprocessing ranks for the psam converter (default: -p)")
 		baix      = flag.String("baix", "", "BAIX index path (default: input with .baix)")
 		codecWork = flag.Int("codec-workers", 0, "BGZF codec goroutines per BAM stream (0: auto, one per CPU capped; 1: sequential codec)")
+		parseWork = flag.Int("parse-workers", 0, "per-rank parse/encode goroutines for SAM text input (0: auto; 1: sequential line loop)")
 		obsFlags  = obsflag.Register(nil)
 	)
 	flag.Parse()
@@ -72,7 +73,7 @@ func main() {
 
 	opts := parseq.Options{
 		Format: *format, Cores: *cores, OutDir: *outDir, OutPrefix: *prefix,
-		CodecWorkers: *codecWork,
+		CodecWorkers: *codecWork, ParseWorkers: *parseWork,
 	}
 	if *region != "" {
 		r, err := parseq.ParseRegion(*region)

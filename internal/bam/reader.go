@@ -15,6 +15,7 @@ type Option func(*codecOptions)
 
 type codecOptions struct {
 	workers int
+	shared  bool
 }
 
 // WithCodecWorkers selects the number of BGZF codec workers. Values
@@ -23,6 +24,16 @@ type codecOptions struct {
 // and virtual offsets, so indexes built against either resolve on both.
 func WithCodecWorkers(n int) Option {
 	return func(o *codecOptions) { o.workers = n }
+}
+
+// WithSharedCodec attaches a Writer's compression to the process-wide
+// bgzf.SharedPool instead of a private worker pool. Output bytes are
+// identical; the difference is purely operational — short-lived writers
+// (per-rank shards, sorter spill runs) share one throughput-sized pool
+// rather than each starting and stopping their own. Readers ignore the
+// option. It takes precedence over WithCodecWorkers on the write side.
+func WithSharedCodec() Option {
+	return func(o *codecOptions) { o.shared = true }
 }
 
 func applyOptions(opts []Option) codecOptions {
@@ -221,9 +232,12 @@ type Writer struct {
 func NewWriter(w io.Writer, h *sam.Header, opts ...Option) (*Writer, error) {
 	o := applyOptions(opts)
 	var bg bgzf.BlockWriter
-	if o.workers > 1 {
+	switch {
+	case o.shared:
+		bg = bgzf.NewSharedParallelWriter(w)
+	case o.workers > 1:
 		bg = bgzf.NewParallelWriter(w, o.workers)
-	} else {
+	default:
 		bg = bgzf.NewWriter(w)
 	}
 	bw := &Writer{bg: bg, header: h}
@@ -262,6 +276,26 @@ func (bw *Writer) Write(rec *sam.Record) error {
 		return err
 	}
 	if _, err := bw.bg.Write(bw.buf); err != nil {
+		bw.err = err
+		return err
+	}
+	return nil
+}
+
+// WriteEncoded writes one or more records already encoded with
+// EncodeRecord (block_size prefixes included). The BGZF layer is
+// agnostic to write granularity, so a batch of pre-encoded records
+// produces bytes identical to the equivalent per-record Write calls —
+// this is the handoff the pipelined converter uses to move record
+// encoding onto its parse workers.
+func (bw *Writer) WriteEncoded(p []byte) error {
+	if bw.err != nil {
+		return bw.err
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	if _, err := bw.bg.Write(p); err != nil {
 		bw.err = err
 		return err
 	}

@@ -114,7 +114,8 @@ type ParallelWriter struct {
 
 	drained chan struct{}
 
-	met *codecObs // nil when telemetry is disabled
+	met   *codecObs  // nil when telemetry is disabled
+	sizer *poolSizer // non-nil on SharedPool-attached writers
 }
 
 // NewParallelWriter returns a parallel BGZF writer using the default
@@ -128,8 +129,18 @@ func NewParallelWriter(w io.Writer, workers int) *ParallelWriter {
 // flate level, per-block payload size, and worker count (≤ 0 means one
 // per CPU).
 func NewParallelWriterLevel(w io.Writer, level, payload, workers int) *ParallelWriter {
-	level, payload = clampLevelPayload(level, payload)
 	workers = resolveWorkers(workers)
+	pw := newParallelWriter(w, level, payload)
+	pw.pipe = parpipe.NewObserved(workers, pipeDepth(workers), pw.compress, obs.Default(), "bgzf.deflate")
+	go pw.drain()
+	return pw
+}
+
+// newParallelWriter builds the writer body shared by the private-pool
+// and SharedPool constructors; the caller attaches the pipe and starts
+// the drain goroutine.
+func newParallelWriter(w io.Writer, level, payload int) *ParallelWriter {
+	level, payload = clampLevelPayload(level, payload)
 	pw := &ParallelWriter{
 		w:       w,
 		level:   level,
@@ -140,10 +151,7 @@ func NewParallelWriterLevel(w io.Writer, level, payload, workers int) *ParallelW
 	pw.cond = sync.NewCond(&pw.mu)
 	pw.blkPool.New = func() any { return &wblock{} }
 	pw.defPool.New = func() any { return &deflator{} }
-	reg := obs.Default()
-	pw.met = newCodecObs(reg, "deflate")
-	pw.pipe = parpipe.NewObserved(workers, pipeDepth(workers), pw.compress, reg, "bgzf.deflate")
-	go pw.drain()
+	pw.met = newCodecObs(obs.Default(), "deflate")
 	return pw
 }
 
@@ -152,7 +160,7 @@ func NewParallelWriterLevel(w io.Writer, level, payload, workers int) *ParallelW
 // resolve without waiting for the block to reach the underlying writer.
 func (w *ParallelWriter) compress(b *wblock) {
 	var t0 time.Time
-	if w.met != nil {
+	if w.met != nil || w.sizer != nil {
 		t0 = time.Now()
 	}
 	d := w.defPool.Get().(*deflator)
@@ -165,6 +173,9 @@ func (w *ParallelWriter) compress(b *wblock) {
 		if b.err == nil {
 			w.met.bytesOut.Add(int64(len(b.block)))
 		}
+	}
+	if w.sizer != nil {
+		w.sizer.observe(len(b.payload), time.Since(t0))
 	}
 	w.mu.Lock()
 	if b.err == nil {

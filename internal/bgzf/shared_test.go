@@ -1,0 +1,65 @@
+package bgzf
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func compressShared(t testing.TB, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewSharedParallelWriter(&buf)
+	if _, err := w.Write(data); err != nil {
+		t.Fatalf("shared Write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("shared Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSharedWriterBitIdenticalToSequential(t *testing.T) {
+	data := testData(6*MaxPayload+999, 11)
+	seq := compress(t, data, MaxPayload)
+	got := compressShared(t, data)
+	if !bytes.Equal(seq, got) {
+		t.Errorf("shared-pool output differs from sequential (%d vs %d bytes)", len(got), len(seq))
+	}
+}
+
+// Short-lived writers attaching to the shared pool one after another —
+// the converter's per-rank shard pattern — must each produce the
+// sequential stream.
+func TestSharedWriterSequentialReuse(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		data := testData(2*MaxPayload+i*1000, int64(i))
+		if !bytes.Equal(compress(t, data, MaxPayload), compressShared(t, data)) {
+			t.Fatalf("iteration %d: shared output differs", i)
+		}
+	}
+}
+
+func TestSharedWriterConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			data := testData(3*MaxPayload+int(seed)*317, seed)
+			if !bytes.Equal(compress(t, data, MaxPayload), compressShared(t, data)) {
+				t.Errorf("seed %d: shared output differs", seed)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+}
+
+func TestSharedPoolSingleton(t *testing.T) {
+	if SharedPool() != SharedPool() {
+		t.Error("SharedPool returned distinct pools")
+	}
+	if SharedPool().Max() < 1 {
+		t.Errorf("shared pool max = %d", SharedPool().Max())
+	}
+}

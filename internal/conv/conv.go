@@ -135,6 +135,24 @@ type Options struct {
 	// ranks, CodecWorkers pipelines block compression/decompression
 	// under each stream.
 	CodecWorkers int
+	// ParseWorkers is the per-rank parse/encode worker count of the
+	// pipelined converter: each rank's partition is scanned into ~64 KiB
+	// batches of whole lines, ParseWorkers goroutines parse and encode
+	// the batches in place (zero per-line allocation), and a single
+	// writer drains them in input order — output bytes and error
+	// behaviour are identical to the sequential loop's. 0 (the default)
+	// selects the adaptive count, GOMAXPROCS/Cores clamped to [1, 8];
+	// 1 forces the line-at-a-time sequential loop (the paper-faithful
+	// baseline). With ParseWorkers > 1, user formats registered via
+	// formats.Register get one encoder instance per worker, so their
+	// Encode must not rely on cross-record state.
+	ParseWorkers int
+
+	// sharedCodec records that CodecWorkers was left at the adaptive
+	// default: the short-lived per-rank BAM shard writers then attach to
+	// the process-wide bgzf.SharedPool (sized from measured bytes/s per
+	// worker) instead of each starting a private pool.
+	sharedCodec bool
 }
 
 func (o *Options) normalize() error {
@@ -146,6 +164,10 @@ func (o *Options) normalize() error {
 	}
 	if o.CodecWorkers <= 0 {
 		o.CodecWorkers = bgzf.AutoWorkers()
+		o.sharedCodec = true
+	}
+	if o.ParseWorkers <= 0 {
+		o.ParseWorkers = adaptiveParseWorkers(o.Cores)
 	}
 	if o.OutDir == "" {
 		o.OutDir = "."
@@ -195,8 +217,10 @@ func (c *counters) into(s *Stats) {
 }
 
 // writeBufSize is the per-rank write buffer (the paper's "write buffer"
-// between the user program and the target file).
-const writeBufSize = 256 << 10
+// between the user program and the target file). One megabyte keeps
+// the write syscall count low enough that the pipelined converter's
+// drain stage is not syscall-bound when batches arrive back to back.
+const writeBufSize = 1 << 20
 
 // rankWriter is one rank's buffered target file.
 type rankWriter struct {
@@ -240,6 +264,29 @@ func (w *rankWriter) emit(buf []byte, rec *sam.Record, h *sam.Header) ([]byte, b
 	}
 	w.n += int64(len(out))
 	return out, true, nil
+}
+
+// writeBatch writes one pre-encoded run of target bytes. Batch-sized
+// runs from the pipelined drain go straight to the file — copying a
+// 256 KiB run through the bufio buffer only to flush it moments later
+// would memmove the entire output once for nothing — while small runs
+// keep the buffer's syscall batching.
+func (w *rankWriter) writeBatch(p []byte) error {
+	if len(p) < 64<<10 {
+		if _, err := w.bw.Write(p); err != nil {
+			return err
+		}
+		w.n += int64(len(p))
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(p); err != nil {
+		return err
+	}
+	w.n += int64(len(p))
+	return nil
 }
 
 func (w *rankWriter) close() error {

@@ -1,0 +1,587 @@
+// Pipelined per-rank convert hot path. The sequential loop in
+// convertSAMRange handles one line at a time: scan, allocate a string,
+// parse, encode, write. This file replaces it (when ParseWorkers > 1)
+// with an order-preserving parpipe stage in the mould of
+// bam.ParallelScanner:
+//
+//	scan goroutine:  cut the rank's byte range into ~64 KiB pooled
+//	                 chunks of whole lines (boundary lines stitched
+//	                 through a dedicated carry buffer),
+//	parse workers:   parse each chunk's lines in place
+//	                 (sam.ParseRecordIntoBytes — zero per-line
+//	                 allocation) and encode into pooled output buffers,
+//	writer (caller): drain batches in submission order and write them.
+//
+// Because delivery is in submission order, the output bytes and the
+// first error surfaced are identical to the sequential loop's — the
+// byte-identity and error-parity tests pin both.
+
+package conv
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"parseq/internal/bam"
+	"parseq/internal/formats"
+	"parseq/internal/obs"
+	"parseq/internal/parpipe"
+	"parseq/internal/partition"
+	"parseq/internal/sam"
+)
+
+// maxSAMLineBytes caps one alignment line. The old converter silently
+// capped lines at bufio.Scanner's 4 MiB default and surfaced a bare
+// "token too long"; long-read SAM (ONT ultralong alignments carry
+// multi-megabyte SEQ/QUAL plus CIGAR) hit it in practice. Both the
+// sequential and pipelined paths now allow lines up to this limit and
+// report the offending line's file offset when it is exceeded. A var
+// so tests can exercise the limit without half-gigabyte fixtures.
+var maxSAMLineBytes = 512 << 20
+
+// errLineTooLong is the shared over-limit error; both converter paths
+// produce it with the same wording so error parity holds.
+func errLineTooLong(fileOff int64) error {
+	return fmt.Errorf("conv: SAM line starting at file offset %d exceeds the %d byte line limit: %w",
+		fileOff, maxSAMLineBytes, bufio.ErrTooLong)
+}
+
+// adaptiveParseWorkers sizes a rank's parse/encode pool when the knob
+// is zero: the ranks already occupy Cores CPUs, so each gets its share
+// of the remaining parallelism, clamped like the codec's AutoWorkers.
+func adaptiveParseWorkers(cores int) int {
+	if cores < 1 {
+		cores = 1
+	}
+	w := runtime.GOMAXPROCS(0) / cores
+	if w < 1 {
+		w = 1
+	}
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// batchBytes is the target chunk size of the scan stage: large enough
+// to amortise per-batch channel traffic and goroutine handoffs over
+// thousands of records (on a loaded core each handoff costs a
+// scheduler pass), small enough that the in-flight window of batches
+// stays memory-friendly and a rank's section still splits into enough
+// batches to balance across the workers.
+const batchBytes = 256 << 10
+
+// lineScanner wraps bufio.Scanner for the sequential loop with the
+// raised line limit and exact offset tracking, so the over-limit error
+// reports where the offending line starts instead of a bare
+// bufio.ErrTooLong (the silent 4 MiB cap this replaces).
+type lineScanner struct {
+	scan *bufio.Scanner
+	pos  int64 // bytes advanced past completed lines
+	base int64 // absolute file offset of the scanned section
+}
+
+func newLineScanner(r io.Reader, base int64) *lineScanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 256<<10), maxSAMLineBytes)
+	ls := &lineScanner{scan: s, base: base}
+	s.Split(func(data []byte, atEOF bool) (int, []byte, error) {
+		adv, tok, err := bufio.ScanLines(data, atEOF)
+		ls.pos += int64(adv)
+		return adv, tok, err
+	})
+	return ls
+}
+
+func (s *lineScanner) Scan() bool   { return s.scan.Scan() }
+func (s *lineScanner) Text() string { return s.scan.Text() }
+
+// Err is bufio.Scanner.Err with ErrTooLong wrapped: when the scanner
+// gives up, every completed line has been advanced past, so pos is the
+// section-relative offset of the line that exceeded the limit.
+func (s *lineScanner) Err() error {
+	err := s.scan.Err()
+	if err == bufio.ErrTooLong {
+		return errLineTooLong(s.base + s.pos)
+	}
+	return err
+}
+
+// lineBatch is the pipeline's unit of work: one pooled chunk of whole
+// input lines on the way in; encoded output bytes (or parsed records,
+// on the preprocessing path) plus tallies on the way out.
+type lineBatch struct {
+	chunk   []byte       // whole input lines (pooled; nil on sentinel batches)
+	base    int64        // absolute file offset of chunk[0]
+	out     []byte       // encoded target bytes (pooled)
+	recs    []sam.Record // parsed records (preprocessing path only)
+	records int64        // records parsed
+	emitted int64        // records that produced output
+	err     error        // first parse/encode error, or terminal scan error
+}
+
+// batchScanner cuts a stream into pooled chunks of whole lines. The
+// partial line at a chunk's end is copied into a dedicated carry buffer
+// and prepended to the next chunk — copied, not aliased, so recycling a
+// chunk can never corrupt a boundary line in flight (the same stitching
+// discipline as bam.BodyScanner's carry).
+type batchScanner struct {
+	r     io.Reader
+	pool  *sync.Pool
+	carry []byte
+	off   int64 // absolute file offset of the next chunk's first byte
+	eof   bool
+}
+
+// next returns the next chunk of whole lines and the absolute offset of
+// its first byte. The final chunk may lack a trailing newline, exactly
+// as bufio.ScanLines delivers a final unterminated line. After the
+// stream is exhausted it returns io.EOF.
+func (s *batchScanner) next() ([]byte, int64, error) {
+	if s.eof && len(s.carry) == 0 {
+		return nil, 0, io.EOF
+	}
+	chunk := s.pool.Get().([]byte)[:0]
+	chunk = append(chunk, s.carry...)
+	s.carry = s.carry[:0]
+	for {
+		for !s.eof && len(chunk) < cap(chunk) {
+			n, err := s.r.Read(chunk[len(chunk):cap(chunk)])
+			chunk = chunk[:len(chunk)+n]
+			if err == io.EOF {
+				s.eof = true
+				break
+			}
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		if s.eof {
+			if len(chunk) == 0 {
+				return nil, 0, io.EOF
+			}
+			base := s.off
+			s.off += int64(len(chunk))
+			return chunk, base, nil
+		}
+		if i := bytes.LastIndexByte(chunk, '\n'); i >= 0 {
+			s.carry = append(s.carry[:0], chunk[i+1:]...)
+			base := s.off
+			s.off += int64(i + 1)
+			return chunk[:i+1], base, nil
+		}
+		// No newline in the whole chunk: its first (and only) line is
+		// longer than the chunk. Grow and keep reading, up to the line
+		// limit — chunk[0] is always a line start, so the offending
+		// line's offset is the chunk's.
+		if len(chunk) >= maxSAMLineBytes {
+			return nil, 0, errLineTooLong(s.off)
+		}
+		grown := cap(chunk) * 2
+		if grown > maxSAMLineBytes {
+			grown = maxSAMLineBytes
+		}
+		bigger := make([]byte, len(chunk), grown)
+		copy(bigger, chunk)
+		chunk = bigger
+	}
+}
+
+// cutLine splits data at the first newline with bufio.ScanLines
+// semantics: the line excludes the newline and a trailing carriage
+// return; without a newline the remainder is the final line.
+func cutLine(data []byte) (line, rest []byte) {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line, rest = data[:i], data[i+1:]
+	} else {
+		line, rest = data, nil
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, rest
+}
+
+// The batch buffer pools are process-wide: every pipeline cuts chunks
+// of the same capacity, so ranks and successive conversions reuse one
+// warm buffer population instead of each run allocating (and the
+// runtime zeroing) a fresh in-flight window.
+var (
+	chunkPool = sync.Pool{New: func() any { return make([]byte, 0, batchBytes) }}
+	// Output buffers start at the batch size: most targets emit at most
+	// about as many bytes as they read, so a full-size buffer avoids the
+	// append-doubling copies a nil slice would pay on its first batches.
+	outPool   = sync.Pool{New: func() any { return make([]byte, 0, batchBytes) }}
+	batchPool = sync.Pool{New: func() any { return &lineBatch{} }}
+)
+
+// linePipeline bundles the scan goroutine and the parpipe worker stage
+// of one rank's pipelined conversion.
+type linePipeline struct {
+	pipe          *parpipe.Pipe[*lineBatch]
+	stop          atomic.Bool
+	recycleChunks bool
+}
+
+// newLinePipeline starts the worker stage under the given parpipe
+// metric/span name ("conv.encode" for the converting paths,
+// "conv.parse" for the preprocessing path).
+func newLinePipeline(workers int, process func(*lineBatch), name string, recycleChunks bool) *linePipeline {
+	p := &linePipeline{recycleChunks: recycleChunks}
+	p.pipe = parpipe.NewObserved(workers, 4*workers, process, obs.Default(), name)
+	return p
+}
+
+// start launches the scan goroutine over r, whose first byte sits at
+// absolute file offset base. A scan error travels as the final batch's
+// err, so the drain side sees it after every complete batch — first
+// error in stream order, like the sequential loop.
+func (p *linePipeline) start(r io.Reader, base int64) {
+	sc := &batchScanner{r: r, pool: &chunkPool, off: base}
+	go func() {
+		defer p.pipe.Close()
+		for !p.stop.Load() {
+			chunk, off, err := sc.next()
+			if err == io.EOF {
+				return
+			}
+			b := batchPool.Get().(*lineBatch)
+			b.chunk, b.base = chunk, off
+			b.out = outPool.Get().([]byte)[:0]
+			if err != nil {
+				b.err = err
+				p.pipe.Submit(b)
+				return
+			}
+			p.pipe.Submit(b)
+		}
+	}()
+}
+
+// startMapped is start over a memory-mapped partition: batches are
+// plain subslices of the mapping cut at line boundaries — no reads, no
+// copies, no pooled chunks. The caller must keep the mapping alive
+// until the drain loop has consumed the pipe's output.
+func (p *linePipeline) startMapped(data []byte, base int64) {
+	p.recycleChunks = false // batches alias the mapping, not pool chunks
+	go func() {
+		defer p.pipe.Close()
+		off := 0
+		for off < len(data) && !p.stop.Load() {
+			end := off + batchBytes
+			if end >= len(data) {
+				end = len(data)
+			} else if i := bytes.LastIndexByte(data[off:end], '\n'); i >= 0 {
+				end = off + i + 1
+			} else if j := bytes.IndexByte(data[end:], '\n'); j >= 0 {
+				// One line longer than a batch: the batch becomes that
+				// whole line, and the worker's per-line limit check
+				// enforces maxSAMLineBytes with the right offset.
+				end += j + 1
+			} else {
+				end = len(data)
+			}
+			b := batchPool.Get().(*lineBatch)
+			b.chunk, b.base = data[off:end], base+int64(off)
+			b.out = outPool.Get().([]byte)[:0]
+			p.pipe.Submit(b)
+			off = end
+		}
+	}()
+}
+
+// recycle returns a drained batch's buffers to their pools. Chunks are
+// held back on the preprocessing path, whose records alias them.
+func (p *linePipeline) recycle(b *lineBatch) {
+	// Chunks grown past batchBytes by a long line stay out of the pool,
+	// keeping the shared population uniformly sized.
+	if b.chunk != nil && p.recycleChunks && cap(b.chunk) == batchBytes {
+		chunkPool.Put(b.chunk[:0])
+	}
+	if b.out != nil {
+		outPool.Put(b.out[:0])
+	}
+	*b = lineBatch{}
+	batchPool.Put(b)
+}
+
+// parseBatchLines drives one batch's line loop: every non-empty line is
+// parsed in place into rec and handed to emit. On any error the batch
+// stops there, recording it — batches are independent, and the ordered
+// drain surfaces the first error in stream order.
+func parseBatchLines(b *lineBatch, rec *sam.Record, emit func(*sam.Record) error) {
+	if b.err != nil || b.chunk == nil {
+		return
+	}
+	data := b.chunk
+	rel := int64(0)
+	for len(data) > 0 {
+		line, rest := cutLine(data)
+		if len(line) >= maxSAMLineBytes {
+			// Line-limit parity with the sequential scanner, which
+			// refuses any line of at least the limit.
+			b.err = errLineTooLong(b.base + rel)
+			return
+		}
+		rel += int64(len(data) - len(rest))
+		data = rest
+		if len(line) == 0 {
+			continue
+		}
+		if err := sam.ParseRecordIntoBytes(rec, line); err != nil {
+			b.err = err
+			return
+		}
+		b.records++
+		if err := emit(rec); err != nil {
+			b.err = err
+			return
+		}
+	}
+}
+
+// convertSAMRangePipelined is convertSAMRange's pipelined body: scan
+// goroutine → ParseWorkers parse+encode workers → in-order drain into
+// the rank's target file. Each worker draws its own encoder instance
+// from a pool, since user-registered encoders may hold per-run state
+// that is not safe to share across goroutines.
+func convertSAMRangePipelined(samPath string, br partition.ByteRange, h *sam.Header,
+	opts *Options, rank int) (rangeStats, error) {
+
+	var stats rangeStats
+	enc, err := formats.New(opts.Format)
+	if err != nil {
+		return stats, err
+	}
+	in, err := os.Open(samPath)
+	if err != nil {
+		return stats, err
+	}
+	defer in.Close()
+	mapped, unmap, mmapErr := mmapFile(in)
+	if mmapErr == nil {
+		defer unmap()
+	}
+
+	w, err := newRankWriter(opts, enc, h, rank)
+	if err != nil {
+		return stats, err
+	}
+
+	var encPool sync.Pool
+	encPool.New = func() any {
+		e, _ := formats.New(opts.Format)
+		return e
+	}
+	p := newLinePipeline(opts.ParseWorkers, func(b *lineBatch) {
+		e := encPool.Get().(formats.Encoder)
+		var rec sam.Record
+		parseBatchLines(b, &rec, func(r *sam.Record) error {
+			n := len(b.out)
+			out, err := e.Encode(b.out, r, h)
+			if err != nil {
+				return err
+			}
+			b.out = out
+			if len(out) != n {
+				b.emitted++
+			}
+			return nil
+		})
+		encPool.Put(e)
+	}, "conv.encode", true)
+	if mmapErr == nil {
+		p.startMapped(mapped[br.Start:br.Start+br.Len()], br.Start)
+	} else {
+		p.start(io.NewSectionReader(in, br.Start, br.Len()), br.Start)
+	}
+
+	var firstErr error
+	for b := range p.pipe.Out() {
+		if firstErr == nil {
+			if len(b.out) > 0 {
+				if werr := w.writeBatch(b.out); werr != nil {
+					firstErr = werr
+				}
+			}
+			stats.records += b.records
+			stats.emitted += b.emitted
+			if firstErr == nil {
+				firstErr = b.err
+			}
+			if firstErr != nil {
+				p.stop.Store(true)
+			}
+		}
+		p.recycle(b)
+	}
+	if firstErr != nil {
+		w.close()
+		return stats, firstErr
+	}
+	stats.bytesOut = w.n
+	return stats, w.close()
+}
+
+// encodeSAMRangeToBAMPipelined is the SAM→BAM counterpart: workers
+// parse and binary-encode whole batches (bam.EncodeRecord), and the
+// drain hands the pre-encoded bytes to the shard writer in order —
+// BGZF framing is write-granularity independent, so the shard is
+// byte-identical to the per-record sequential path.
+func encodeSAMRangeToBAMPipelined(samPath string, br partition.ByteRange, h *sam.Header,
+	outPath string, opts *Options) (int64, int64, error) {
+
+	in, err := os.Open(samPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer in.Close()
+	mapped, unmap, mmapErr := mmapFile(in)
+	if mmapErr == nil {
+		defer unmap()
+	}
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	bw, err := bam.NewWriter(out, h, shardCodecOptions(opts)...)
+	if err != nil {
+		out.Close()
+		return 0, 0, err
+	}
+
+	p := newLinePipeline(opts.ParseWorkers, func(b *lineBatch) {
+		var rec sam.Record
+		parseBatchLines(b, &rec, func(r *sam.Record) error {
+			n := len(b.out)
+			enc, err := bam.EncodeRecord(b.out, r, h)
+			if err != nil {
+				b.out = b.out[:n]
+				return err
+			}
+			b.out = enc
+			b.emitted++
+			return nil
+		})
+	}, "conv.encode", true)
+	if mmapErr == nil {
+		p.startMapped(mapped[br.Start:br.Start+br.Len()], br.Start)
+	} else {
+		p.start(io.NewSectionReader(in, br.Start, br.Len()), br.Start)
+	}
+
+	var n int64
+	var firstErr error
+	for b := range p.pipe.Out() {
+		if firstErr == nil {
+			if err := bw.WriteEncoded(b.out); err != nil {
+				firstErr = err
+			}
+			n += b.emitted
+			if firstErr == nil {
+				firstErr = b.err
+			}
+			if firstErr != nil {
+				p.stop.Store(true)
+			}
+		}
+		p.recycle(b)
+	}
+	if firstErr != nil {
+		bw.Close() // release codec workers before abandoning the shard
+		out.Close()
+		return 0, 0, firstErr
+	}
+	if err := bw.Close(); err != nil {
+		out.Close()
+		return 0, 0, err
+	}
+	fi, err := out.Stat()
+	if err != nil {
+		out.Close()
+		return 0, 0, err
+	}
+	return n, fi.Size(), out.Close()
+}
+
+// preprocessSAMRangePipelined parallelises the parse half of the
+// preprocessing-optimized converter: workers parse batches into record
+// slices ("conv.parse" stage), the drain concatenates them in input
+// order, and the BAMX/BAIX build proceeds as before. Records alias
+// their chunks, so chunks are detached from the pool rather than
+// recycled — the lifetime contract of sam.ParseRecordBytes.
+func preprocessSAMRangePipelined(samPath string, br partition.ByteRange,
+	parseWorkers int) ([]sam.Record, error) {
+
+	in, err := os.Open(samPath)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	section := io.NewSectionReader(in, br.Start, br.Len())
+
+	p := newLinePipeline(parseWorkers, func(b *lineBatch) {
+		if b.err != nil || b.chunk == nil {
+			return
+		}
+		data := b.chunk
+		rel := int64(0)
+		for len(data) > 0 {
+			line, rest := cutLine(data)
+			if len(line) >= maxSAMLineBytes {
+				b.err = errLineTooLong(b.base + rel)
+				return
+			}
+			rel += int64(len(data) - len(rest))
+			data = rest
+			if len(line) == 0 {
+				continue
+			}
+			rec, err := sam.ParseRecordBytes(line)
+			if err != nil {
+				b.err = err
+				return
+			}
+			b.recs = append(b.recs, rec)
+			b.records++
+		}
+	}, "conv.parse", false)
+	p.start(section, br.Start)
+
+	var recs []sam.Record
+	var firstErr error
+	for b := range p.pipe.Out() {
+		if firstErr == nil {
+			recs = append(recs, b.recs...)
+			firstErr = b.err
+			if firstErr != nil {
+				p.stop.Store(true)
+			}
+		}
+		p.recycle(b)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return recs, nil
+}
+
+// shardCodecOptions picks the codec wiring of one BAM shard writer:
+// when CodecWorkers was left adaptive the shard attaches to the
+// process-wide shared deflate pool (bgzf.SharedPool) — the many
+// short-lived writers ConvertSAMToBAM spawns per rank stop paying a
+// pool start/stop each — while an explicit worker count keeps the
+// per-stream pool or the sequential codec.
+func shardCodecOptions(opts *Options) []bam.Option {
+	if opts.sharedCodec {
+		return []bam.Option{bam.WithSharedCodec()}
+	}
+	return []bam.Option{bam.WithCodecWorkers(opts.CodecWorkers)}
+}

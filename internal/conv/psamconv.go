@@ -1,7 +1,6 @@
 package conv
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -22,8 +21,20 @@ import (
 // Unlike the BAM preprocessor this phase parallelises, because SAM's line
 // breakers make the partitioning possible.
 func PreprocessSAMParallel(samPath, outDir, prefix string, cores int) (*PreprocessResult, error) {
+	return PreprocessSAMParallelWorkers(samPath, outDir, prefix, cores, 0)
+}
+
+// PreprocessSAMParallelWorkers is PreprocessSAMParallel with an
+// explicit per-rank parse worker count: parseWorkers > 1 parses each
+// rank's text partition on the batch pipeline ("conv.parse" stage),
+// 1 forces the sequential loop, and ≤ 0 selects the adaptive count
+// (GOMAXPROCS/cores, clamped).
+func PreprocessSAMParallelWorkers(samPath, outDir, prefix string, cores, parseWorkers int) (*PreprocessResult, error) {
 	if cores < 1 {
 		cores = 1
+	}
+	if parseWorkers <= 0 {
+		parseWorkers = adaptiveParseWorkers(cores)
 	}
 	if prefix == "" {
 		prefix = "pre"
@@ -60,7 +71,7 @@ func PreprocessSAMParallel(samPath, outDir, prefix string, cores int) (*Preproce
 		defer esp.End()
 		bamxPath := filepath.Join(outDir, fmt.Sprintf("%s_m%03d.bamx", prefix, c.Rank()))
 		baixPath := filepath.Join(outDir, fmt.Sprintf("%s_m%03d.baix", prefix, c.Rank()))
-		n, err := preprocessSAMRange(samPath, br, header, bamxPath, baixPath)
+		n, err := preprocessSAMRange(samPath, br, header, bamxPath, baixPath, parseWorkers)
 		if err != nil {
 			return err
 		}
@@ -78,32 +89,40 @@ func PreprocessSAMParallel(samPath, outDir, prefix string, cores int) (*Preproce
 }
 
 // preprocessSAMRange parses one rank's text partition and writes it as a
-// BAMX file plus BAIX index.
+// BAMX file plus BAIX index. parseWorkers > 1 fans the parse out across
+// the batch pipeline; the sequential loop is the baseline.
 func preprocessSAMRange(samPath string, br partition.ByteRange, h *sam.Header,
-	bamxPath, baixPath string) (int64, error) {
+	bamxPath, baixPath string, parseWorkers int) (int64, error) {
 
-	in, err := os.Open(samPath)
-	if err != nil {
-		return 0, err
-	}
-	defer in.Close()
-	section := io.NewSectionReader(in, br.Start, br.Len())
-	scan := bufio.NewScanner(section)
-	scan.Buffer(make([]byte, 256<<10), 4<<20)
 	var recs []sam.Record
-	for scan.Scan() {
-		line := scan.Text()
-		if line == "" {
-			continue
-		}
-		rec, err := sam.ParseRecord(line)
+	if parseWorkers > 1 {
+		var err error
+		recs, err = preprocessSAMRangePipelined(samPath, br, parseWorkers)
 		if err != nil {
 			return 0, err
 		}
-		recs = append(recs, rec)
-	}
-	if err := scan.Err(); err != nil {
-		return 0, err
+	} else {
+		in, err := os.Open(samPath)
+		if err != nil {
+			return 0, err
+		}
+		defer in.Close()
+		section := io.NewSectionReader(in, br.Start, br.Len())
+		scan := newLineScanner(section, br.Start)
+		for scan.Scan() {
+			line := scan.Text()
+			if line == "" {
+				continue
+			}
+			rec, err := sam.ParseRecord(line)
+			if err != nil {
+				return 0, err
+			}
+			recs = append(recs, rec)
+		}
+		if err := scan.Err(); err != nil {
+			return 0, err
+		}
 	}
 
 	out, err := os.Create(bamxPath)
@@ -173,7 +192,7 @@ func ConvertSAMPreprocessed(samPath string, preCores int, opts Options) (*Result
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
-	pre, err := PreprocessSAMParallel(samPath, opts.OutDir, opts.OutPrefix+"_pre", preCores)
+	pre, err := PreprocessSAMParallelWorkers(samPath, opts.OutDir, opts.OutPrefix+"_pre", preCores, opts.ParseWorkers)
 	if err != nil {
 		return nil, err
 	}

@@ -129,9 +129,16 @@ type rangeStats struct {
 
 // convertSAMRange is one rank's work: stream the byte range through the
 // read buffer, parse each line into an alignment object, run the user
-// program and write to the rank's target file.
+// program and write to the rank's target file. With ParseWorkers > 1
+// the work pipelines across a scan goroutine, parse+encode workers and
+// an in-order drain (pipeline.go); the sequential loop below is the
+// ParseWorkers == 1 baseline, byte-identical by construction.
 func convertSAMRange(samPath string, br partition.ByteRange, h *sam.Header,
 	enc formats.Encoder, opts *Options, rank int) (rangeStats, error) {
+
+	if opts.ParseWorkers > 1 {
+		return convertSAMRangePipelined(samPath, br, h, opts, rank)
+	}
 
 	var stats rangeStats
 	in, err := os.Open(samPath)
@@ -146,8 +153,7 @@ func convertSAMRange(samPath string, br partition.ByteRange, h *sam.Header,
 		return stats, err
 	}
 
-	scan := bufio.NewScanner(section)
-	scan.Buffer(make([]byte, 256<<10), 4<<20)
+	scan := newLineScanner(section, br.Start)
 	var rec sam.Record
 	var out []byte
 	for scan.Scan() {

@@ -6,8 +6,6 @@ import (
 	"os"
 	"path/filepath"
 
-	"bufio"
-
 	"parseq/internal/bam"
 	"parseq/internal/mpi"
 	"parseq/internal/obs"
@@ -56,7 +54,7 @@ func ConvertSAMToBAM(samPath string, opts Options) (*Result, error) {
 		csp := ph.Start(c.Rank(), "convert")
 		defer csp.End()
 		outPath := filepath.Join(opts.OutDir, fmt.Sprintf("%s_p%03d.bam", opts.OutPrefix, c.Rank()))
-		n, bytesOut, err := encodeSAMRangeToBAM(samPath, br, header, outPath, opts.CodecWorkers)
+		n, bytesOut, err := encodeSAMRangeToBAM(samPath, br, header, outPath, &opts)
 		if err != nil {
 			return err
 		}
@@ -76,8 +74,16 @@ func ConvertSAMToBAM(samPath string, opts Options) (*Result, error) {
 	return &res, nil
 }
 
-// encodeSAMRangeToBAM encodes one text partition as a standalone BAM file.
-func encodeSAMRangeToBAM(samPath string, br partition.ByteRange, h *sam.Header, outPath string, codecWorkers int) (int64, int64, error) {
+// encodeSAMRangeToBAM encodes one text partition as a standalone BAM
+// file. With ParseWorkers > 1 the parse and record encode fan out
+// across the batch pipeline (pipeline.go) and the shard writer receives
+// pre-encoded batches; the loop below is the sequential baseline. In
+// either case an adaptive CodecWorkers attaches the shard's compression
+// to the process-wide shared deflate pool.
+func encodeSAMRangeToBAM(samPath string, br partition.ByteRange, h *sam.Header, outPath string, opts *Options) (int64, int64, error) {
+	if opts.ParseWorkers > 1 {
+		return encodeSAMRangeToBAMPipelined(samPath, br, h, outPath, opts)
+	}
 	in, err := os.Open(samPath)
 	if err != nil {
 		return 0, 0, err
@@ -88,15 +94,14 @@ func encodeSAMRangeToBAM(samPath string, br partition.ByteRange, h *sam.Header, 
 	if err != nil {
 		return 0, 0, err
 	}
-	bw, err := bam.NewWriter(out, h, bam.WithCodecWorkers(codecWorkers))
+	bw, err := bam.NewWriter(out, h, shardCodecOptions(opts)...)
 	if err != nil {
 		out.Close()
 		return 0, 0, err
 	}
 	n := int64(0)
 	var rec sam.Record
-	scan := bufio.NewScanner(io.NewSectionReader(in, br.Start, br.Len()))
-	scan.Buffer(make([]byte, 256<<10), 4<<20)
+	scan := newLineScanner(io.NewSectionReader(in, br.Start, br.Len()), br.Start)
 	for scan.Scan() {
 		line := scan.Text()
 		if line == "" {

@@ -57,6 +57,7 @@ const bamxIOBonus = 1.3
 func measureSAMConversion(sc *Scale, samPath, format, prefix string) (float64, int64, error) {
 	res, err := conv.ConvertSAM(samPath, conv.Options{
 		Format: format, Cores: 1, OutDir: sc.TmpDir, OutPrefix: prefix + format,
+		ParseWorkers: sc.ParseWorkers,
 	})
 	if err != nil {
 		return 0, 0, err

@@ -26,6 +26,13 @@ type Scale struct {
 	// ablation) pin their own codec to 1 regardless, preserving the
 	// paper's configuration.
 	CodecWorkers int
+	// ParseWorkers is the per-rank parse/encode goroutine count the
+	// measured SAM-text conversions run with (conv.Options.ParseWorkers);
+	// 0 selects the adaptive default, 1 the sequential line loop. Table I
+	// pins its own runs to 1 regardless: its measured times anchor the
+	// paper's *sequential* converter, so the batch pipeline must not leak
+	// into the baseline.
+	ParseWorkers int
 	Machine      cluster.Machine
 	coresFig     []int // core counts for the figure sweeps
 }

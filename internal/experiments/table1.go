@@ -59,8 +59,11 @@ func Table1(sc Scale) (*Report, error) {
 
 	// --- SAM → FASTQ ---
 	noPre, err := bestOf(func() (time.Duration, error) {
+		// ParseWorkers pinned to 1: Table I anchors the *sequential*
+		// line-at-a-time converter, so the batch parse pipeline must not
+		// kick in here (same rationale as the CodecWorkers pin below).
 		res, err := conv.ConvertSAM(samPath, conv.Options{
-			Format: "fastq", Cores: 1, OutDir: outDir, OutPrefix: "t1_sam_nopre",
+			Format: "fastq", Cores: 1, OutDir: outDir, OutPrefix: "t1_sam_nopre", ParseWorkers: 1,
 		})
 		if err != nil {
 			return 0, err
@@ -70,7 +73,7 @@ func Table1(sc Scale) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	pre, err := conv.PreprocessSAMParallel(samPath, outDir, "t1_pre", 1)
+	pre, err := conv.PreprocessSAMParallelWorkers(samPath, outDir, "t1_pre", 1, 1)
 	if err != nil {
 		return nil, err
 	}

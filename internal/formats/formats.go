@@ -125,11 +125,11 @@ func (SAM) Header(h *sam.Header) []byte {
 	return []byte(h.String())
 }
 
-// Encode implements Encoder.
+// Encode implements Encoder. The record renders straight into dst
+// (Record.AppendTo), so re-emitting SAM text costs no per-record
+// allocation.
 func (SAM) Encode(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error) {
-	var b strings.Builder
-	rec.AppendText(&b)
-	dst = append(dst, b.String()...)
+	dst = rec.AppendTo(dst)
 	return append(dst, '\n'), nil
 }
 

@@ -37,7 +37,8 @@ type ticket[J any] struct {
 // bounding memory to roughly depth in-flight jobs.
 type Pipe[J any] struct {
 	fn      func(J)
-	work    chan *ticket[J]
+	work    chan *ticket[J] // nil on pool-backed pipes
+	pool    *Pool           // nil on pipes that own their workers
 	order   chan *ticket[J]
 	out     chan J
 	tickets sync.Pool
@@ -79,36 +80,87 @@ func NewObserved[J any](workers, depth int, fn func(J), reg *obs.Registry, name 
 		order: make(chan *ticket[J], depth),
 		out:   make(chan J, depth),
 	}
-	if reg != nil {
-		p.reg = reg
-		p.name = name
-		prefix := "parpipe." + name
-		p.items = reg.Counter(prefix + ".items")
-		p.busyNS = reg.Counter(prefix + ".busy_ns")
-		p.idleNS = reg.Counter(prefix + ".idle_ns")
-		p.queue = reg.Gauge(prefix + ".queue_depth")
-		if reg.TracingEnabled() {
-			p.pid = reg.AllocPID("pipe:" + name)
-		}
-	}
+	p.initObs(reg, name)
 	p.tickets.New = func() any { return &ticket[J]{done: make(chan struct{}, 1)} }
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go p.worker(i)
 	}
-	go func() {
-		for t := range p.order {
-			<-t.done
-			j := t.job
-			var zero J
-			t.job = zero
-			p.tickets.Put(t)
-			p.out <- j
-		}
-		p.wg.Wait()
-		close(p.out)
-	}()
+	go p.drainLoop()
 	return p
+}
+
+// NewOnPool builds a pipeline whose jobs run on a shared Pool instead
+// of dedicated workers: Submit hands each job to the pool, and delivery
+// on Out is still strictly submission order. depth bounds the in-flight
+// jobs of this pipe alone — the pool's own queue bounds total demand
+// across every attached pipe. Telemetry registers under the same
+// parpipe.<name>.* names as NewObserved (the idle counter stays zero:
+// pool workers' idle time belongs to the pool, not to any one pipe).
+// Close detaches the pipe; the pool keeps running for the next stream.
+func NewOnPool[J any](pool *Pool, depth int, fn func(J), reg *obs.Registry, name string) *Pipe[J] {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pipe[J]{
+		fn:    fn,
+		pool:  pool,
+		order: make(chan *ticket[J], depth),
+		out:   make(chan J, depth),
+	}
+	p.initObs(reg, name)
+	p.tickets.New = func() any { return &ticket[J]{done: make(chan struct{}, 1)} }
+	go p.drainLoop()
+	return p
+}
+
+// initObs registers the pipe's telemetry handles; a nil reg leaves the
+// pipe uninstrumented.
+func (p *Pipe[J]) initObs(reg *obs.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	p.reg = reg
+	p.name = name
+	prefix := "parpipe." + name
+	p.items = reg.Counter(prefix + ".items")
+	p.busyNS = reg.Counter(prefix + ".busy_ns")
+	p.idleNS = reg.Counter(prefix + ".idle_ns")
+	p.queue = reg.Gauge(prefix + ".queue_depth")
+	if reg.TracingEnabled() && p.pool == nil {
+		p.pid = reg.AllocPID("pipe:" + name)
+	}
+}
+
+// drainLoop delivers finished jobs in submission order, then closes Out
+// once the input is complete and every worker has retired.
+func (p *Pipe[J]) drainLoop() {
+	for t := range p.order {
+		<-t.done
+		j := t.job
+		var zero J
+		t.job = zero
+		p.tickets.Put(t)
+		p.out <- j
+	}
+	p.wg.Wait()
+	close(p.out)
+}
+
+// run executes one ticket on a pool worker, with the same busy/items
+// accounting as a dedicated worker (idle time is the pool's, not the
+// pipe's, so it is not attributed here).
+func (p *Pipe[J]) run(t *ticket[J]) {
+	if p.reg == nil {
+		p.fn(t.job)
+		t.done <- struct{}{}
+		return
+	}
+	start := time.Now()
+	p.fn(t.job)
+	p.busyNS.Add(time.Since(start).Nanoseconds())
+	p.items.Add(1)
+	t.done <- struct{}{}
 }
 
 // worker drains the work channel. On observed pipelines it splits its
@@ -147,6 +199,11 @@ func (p *Pipe[J]) Submit(j J) {
 	t := p.tickets.Get().(*ticket[J])
 	t.job = j
 	p.order <- t
+	if p.pool != nil {
+		p.pool.Submit(func() { p.run(t) })
+		p.queue.Set(int64(len(p.order)))
+		return
+	}
 	p.work <- t
 	p.queue.Set(int64(len(p.work)))
 }
@@ -157,8 +214,11 @@ func (p *Pipe[J]) Submit(j J) {
 func (p *Pipe[J]) Out() <-chan J { return p.out }
 
 // Close marks the input complete. Out keeps delivering the jobs already
-// submitted, then closes.
+// submitted, then closes. On a pool-backed pipe this detaches the pipe
+// without touching the shared pool.
 func (p *Pipe[J]) Close() {
-	close(p.work)
+	if p.work != nil {
+		close(p.work)
+	}
 	close(p.order)
 }

@@ -1,0 +1,120 @@
+package parpipe
+
+import (
+	"sync"
+)
+
+// Pool is a shared, resizable worker executor. Where a Pipe built with
+// New owns its goroutines for the life of one stream, a Pool outlives
+// streams: many short-lived pipes (NewOnPool) attach to it and borrow
+// its workers, so a process that opens and closes hundreds of writers —
+// the per-rank BAM shards of the SAM→BAM converter, the sorter's spill
+// runs — keeps one warm pool instead of churning goroutine pools.
+//
+// The worker count adjusts at runtime via SetWorkers, between 1 and the
+// max fixed at construction. Grows take effect immediately; shrinks are
+// lazy — a surplus worker exits after finishing its current job — so
+// resizing never blocks and never interrupts work in flight.
+type Pool struct {
+	work chan func()
+
+	mu     sync.Mutex
+	target int // desired worker count
+	alive  int // running worker goroutines
+	max    int
+	closed bool
+}
+
+// NewPool starts a pool of `workers` goroutines, resizable up to max.
+// depth bounds the queued (not yet picked up) jobs; Submit blocks while
+// the queue is full.
+func NewPool(workers, max, depth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if max < workers {
+		max = workers
+	}
+	if depth < workers {
+		depth = workers
+	}
+	p := &Pool{
+		work:   make(chan func(), depth),
+		target: workers,
+		alive:  workers,
+		max:    max,
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// worker drains the queue; after each job it exits if the pool has
+// shrunk below the number of live workers.
+func (p *Pool) worker() {
+	for fn := range p.work {
+		fn()
+		p.mu.Lock()
+		if p.alive > p.target {
+			p.alive--
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Submit enqueues one job. It blocks while the queue is full and must
+// not be called after Close.
+func (p *Pool) Submit(fn func()) { p.work <- fn }
+
+// Workers returns the current target worker count.
+func (p *Pool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.target
+}
+
+// Max returns the pool's worker-count ceiling.
+func (p *Pool) Max() int { return p.max }
+
+// Backlog returns the number of queued jobs no worker has picked up
+// yet — the demand signal adaptive sizers grow on.
+func (p *Pool) Backlog() int { return len(p.work) }
+
+// SetWorkers resizes the pool, clamping n to [1, max]. Growing spawns
+// workers immediately; shrinking lets surplus workers retire as they
+// finish their current job. It returns the clamped count.
+func (p *Pool) SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.max {
+		n = p.max
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return p.target
+	}
+	p.target = n
+	for p.alive < n {
+		p.alive++
+		go p.worker()
+	}
+	return n
+}
+
+// Close shuts the pool down after the queued jobs finish. Pipes still
+// attached to the pool must be closed first.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.work)
+}

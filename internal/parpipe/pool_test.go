@@ -1,0 +1,116 @@
+package parpipe
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolBackedPipeOrderPreserved(t *testing.T) {
+	pool := NewPool(4, 4, 8)
+	defer pool.Close()
+	p := NewOnPool(pool, 8, func(j *job) {
+		// Stagger completion so later jobs routinely finish first.
+		time.Sleep(time.Duration(j.in%3) * time.Millisecond)
+		j.out = j.in * j.in
+	}, nil, "")
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			p.Submit(&job{in: i})
+		}
+		p.Close()
+	}()
+	i := 0
+	for j := range p.Out() {
+		if j.in != i {
+			t.Fatalf("job %d delivered at position %d", j.in, i)
+		}
+		if j.out != i*i {
+			t.Fatalf("job %d not processed: out=%d", i, j.out)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("delivered %d jobs, want %d", i, n)
+	}
+}
+
+// Many pipes sharing one pool must each still see their own jobs in
+// their own submission order.
+func TestPoolSharedAcrossPipes(t *testing.T) {
+	pool := NewPool(3, 3, 8)
+	defer pool.Close()
+	var wg sync.WaitGroup
+	for pipe := 0; pipe < 4; pipe++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := NewOnPool(pool, 4, func(j *job) { j.out = j.in + 1 }, nil, "")
+			go func() {
+				for i := 0; i < 50; i++ {
+					p.Submit(&job{in: i})
+				}
+				p.Close()
+			}()
+			i := 0
+			for j := range p.Out() {
+				if j.in != i || j.out != i+1 {
+					t.Errorf("pipe saw job %d (out=%d) at position %d", j.in, j.out, i)
+					return
+				}
+				i++
+			}
+			if i != 50 {
+				t.Errorf("pipe drained %d jobs, want 50", i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolSetWorkersClamps(t *testing.T) {
+	pool := NewPool(1, 4, 8)
+	defer pool.Close()
+	if got := pool.Workers(); got != 1 {
+		t.Fatalf("Workers = %d, want 1", got)
+	}
+	if got := pool.SetWorkers(3); got != 3 || pool.Workers() != 3 {
+		t.Fatalf("SetWorkers(3) = %d, Workers = %d", got, pool.Workers())
+	}
+	if got := pool.SetWorkers(99); got != 4 {
+		t.Fatalf("SetWorkers(99) = %d, want clamp to max 4", got)
+	}
+	if got := pool.SetWorkers(0); got != 1 {
+		t.Fatalf("SetWorkers(0) = %d, want clamp to 1", got)
+	}
+	if pool.Max() != 4 {
+		t.Fatalf("Max = %d, want 4", pool.Max())
+	}
+}
+
+// After a shrink, surplus workers retire as they finish jobs; the pool
+// keeps processing correctly through the transition in either
+// direction.
+func TestPoolResizeUnderLoad(t *testing.T) {
+	pool := NewPool(4, 8, 16)
+	var done sync.WaitGroup
+	submit := func(n int) {
+		for i := 0; i < n; i++ {
+			done.Add(1)
+			pool.Submit(func() { done.Done() })
+		}
+	}
+	submit(100)
+	pool.SetWorkers(1)
+	submit(100)
+	pool.SetWorkers(8)
+	submit(100)
+	done.Wait()
+	pool.Close()
+	// Close is idempotent.
+	pool.Close()
+	if got := pool.SetWorkers(5); got != 8 {
+		t.Fatalf("SetWorkers after Close = %d, want unchanged 8", got)
+	}
+}

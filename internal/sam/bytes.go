@@ -1,0 +1,106 @@
+// Byte-slice entry points for the converter hot path. The pipelined
+// converter scans whole lines into pooled chunks and parses them in
+// place; converting each line to a string first would put one copy per
+// record back on the allocator, which is exactly the cost these entry
+// points remove. The string fields of a record parsed this way alias
+// the input buffer, so the buffer must stay untouched for as long as
+// the record is in use.
+
+package sam
+
+import "unsafe"
+
+// ParseRecordBytes parses one tab-delimited alignment line held in a
+// byte slice. The returned record's string fields alias line's backing
+// array — the caller must not modify or recycle that memory while the
+// record is live. Error messages are identical to ParseRecord's.
+func ParseRecordBytes(line []byte) (Record, error) {
+	var r Record
+	if err := ParseRecordIntoBytes(&r, line); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// ParseRecordIntoBytes is ParseRecordInto for a line held in a byte
+// slice: the line is parsed in place with zero per-line allocation, so
+// r's string fields alias line's backing array. The caller owns the
+// lifetime contract — the buffer must not be modified or recycled
+// while r is in use. Tags and Cigar capacity is reused as in
+// ParseRecordInto, and error messages are identical to the string
+// entry points'.
+func ParseRecordIntoBytes(r *Record, line []byte) error {
+	r.Tags = r.Tags[:0]
+	return parseRecordInto(r, bytesToString(line))
+}
+
+// bytesToString aliases b as a string without copying. Safe exactly as
+// long as b is not mutated while the string is reachable; the parse
+// entry points above push that contract to their callers.
+func bytesToString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// AppendTo appends the record's SAM text form to dst, without a
+// trailing newline — the byte-slice counterpart of AppendText, used by
+// the SAM encoder so the convert hot path renders into pooled buffers
+// instead of a fresh strings.Builder per record. The two renderers
+// produce identical bytes.
+func (r *Record) AppendTo(dst []byte) []byte {
+	dst = append(dst, r.QName...)
+	dst = append(dst, '\t')
+	dst = appendUint(dst, uint64(r.Flag))
+	dst = append(dst, '\t')
+	dst = append(dst, r.RName...)
+	dst = append(dst, '\t')
+	dst = appendUint(dst, uint64(r.Pos))
+	dst = append(dst, '\t')
+	dst = appendUint(dst, uint64(r.MapQ))
+	dst = append(dst, '\t')
+	if len(r.Cigar) == 0 {
+		dst = append(dst, '*')
+	} else {
+		for _, op := range r.Cigar {
+			dst = appendUint(dst, uint64(op.Len()))
+			dst = append(dst, op.Type().Char())
+		}
+	}
+	dst = append(dst, '\t')
+	dst = append(dst, r.RNext...)
+	dst = append(dst, '\t')
+	dst = appendUint(dst, uint64(r.PNext))
+	dst = append(dst, '\t')
+	if r.TLen < 0 {
+		dst = append(dst, '-')
+		dst = appendUint(dst, uint64(-int64(r.TLen)))
+	} else {
+		dst = appendUint(dst, uint64(r.TLen))
+	}
+	dst = append(dst, '\t')
+	dst = append(dst, r.Seq...)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Qual...)
+	for _, t := range r.Tags {
+		dst = append(dst, '\t', t.Name[0], t.Name[1], ':', t.Type, ':')
+		dst = append(dst, t.Value...)
+	}
+	return dst
+}
+
+// appendUint appends the decimal form of a non-negative integer.
+func appendUint(dst []byte, n uint64) []byte {
+	if n == 0 {
+		return append(dst, '0')
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(dst, buf[i:]...)
+}

@@ -1,0 +1,137 @@
+package sam
+
+import (
+	"reflect"
+	"testing"
+)
+
+// byteLines covers the renderer's branches: mapped/unmapped, negative
+// TLEN, empty CIGAR, '\r'-free tags, multiple tag types.
+var byteLines = []string{
+	"r001\t99\tchr1\t7\t30\t8M2I4M1D3M\t=\t37\t39\tTTAGATAAAGGATACTG\t*",
+	"r002\t0\tchr1\t9\t30\t3S6M1P1I4M\t*\t0\t0\tAAAAGATAAGGATA\t*\tNM:i:1\tRG:Z:rg1",
+	"r003\t16\tchr2\t9\t0\t5S6M\t*\t0\t0\tGCCTAAGCTAA\tFFFFFFFFFFF\tSA:Z:ref,29,-,6H5M,17,0",
+	"r004\t147\tchr1\t37\t30\t9M\t=\t7\t-39\tCAGCGGCAT\t*\tXS:f:1.5",
+	"r005\t4\t*\t0\t0\t*\t*\t0\t0\t*\t*",
+}
+
+func TestParseRecordBytesMatchesString(t *testing.T) {
+	for _, line := range byteLines {
+		want, err := ParseRecord(line)
+		if err != nil {
+			t.Fatalf("ParseRecord(%q): %v", line, err)
+		}
+		got, err := ParseRecordBytes([]byte(line))
+		if err != nil {
+			t.Fatalf("ParseRecordBytes(%q): %v", line, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ParseRecordBytes(%q) = %+v, want %+v", line, got, want)
+		}
+	}
+}
+
+func TestParseRecordBytesErrorsMatchString(t *testing.T) {
+	bad := []string{
+		"",
+		"only\tthree\tfields",
+		"q\tNOTANUMBER\tchr1\t7\t30\t*\t*\t0\t0\t*\t*",
+		"q\t0\tchr1\tx\t30\t*\t*\t0\t0\t*\t*",
+		"q\t0\tchr1\t7\t30\t8Q\t*\t0\t0\t*\t*",
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t0\t*\t*\tbadtag",
+	}
+	for _, line := range bad {
+		_, serr := ParseRecord(line)
+		_, berr := ParseRecordBytes([]byte(line))
+		if (serr == nil) != (berr == nil) {
+			t.Errorf("ParseRecordBytes(%q) err = %v, ParseRecord err = %v", line, berr, serr)
+			continue
+		}
+		if serr != nil && serr.Error() != berr.Error() {
+			t.Errorf("error wording differs for %q:\n bytes:  %v\n string: %v", line, berr, serr)
+		}
+	}
+}
+
+func TestParseRecordIntoBytesReusesRecord(t *testing.T) {
+	var r Record
+	for i := 0; i < 3; i++ {
+		for _, line := range byteLines {
+			if err := ParseRecordIntoBytes(&r, []byte(line)); err != nil {
+				t.Fatalf("pass %d: ParseRecordIntoBytes(%q): %v", i, line, err)
+			}
+			want, err := ParseRecord(line)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := string(r.AppendTo(nil)); got != want.String() {
+				t.Errorf("pass %d: reused record renders %q, want %q", i, got, want.String())
+			}
+		}
+	}
+}
+
+func TestAppendToMatchesString(t *testing.T) {
+	for _, line := range byteLines {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(rec.AppendTo(nil)); got != rec.String() {
+			t.Errorf("AppendTo = %q, String = %q", got, rec.String())
+		}
+		// Appending to a non-empty prefix must leave the prefix alone.
+		withPrefix := rec.AppendTo([]byte("prefix:"))
+		if string(withPrefix) != "prefix:"+rec.String() {
+			t.Errorf("AppendTo with prefix = %q", withPrefix)
+		}
+	}
+}
+
+func TestParseCigarIntoReusesCapacity(t *testing.T) {
+	dst := make(Cigar, 0, 16)
+	c, err := ParseCigarInto(dst, "8M2I4M1D3M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 5 {
+		t.Fatalf("len = %d, want 5", len(c))
+	}
+	if &c[0] != &dst[:1][0] {
+		t.Error("ParseCigarInto reallocated despite sufficient capacity")
+	}
+	// A second parse over the same backing array overwrites it.
+	c2, err := ParseCigarInto(c, "4M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2) != 1 || &c2[0] != &dst[:1][0] {
+		t.Error("second ParseCigarInto did not reuse the backing array")
+	}
+}
+
+func TestParseCigarIntoMatchesParseCigar(t *testing.T) {
+	for _, s := range []string{"*", "", "8M2I4M1D3M", "100S1D2N3H", "bad", "4", "4M3"} {
+		want, werr := ParseCigar(s)
+		got, gerr := ParseCigarInto(nil, s)
+		if (werr == nil) != (gerr == nil) {
+			t.Errorf("ParseCigarInto(%q) err = %v, ParseCigar err = %v", s, gerr, werr)
+			continue
+		}
+		if werr != nil {
+			if werr.Error() != gerr.Error() {
+				t.Errorf("error wording differs for %q: %v vs %v", s, gerr, werr)
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("ParseCigarInto(%q) = %v, want %v", s, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("ParseCigarInto(%q)[%d] = %v, want %v", s, i, got[i], want[i])
+			}
+		}
+	}
+}

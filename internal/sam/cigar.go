@@ -105,10 +105,27 @@ var cigarOpLookup = func() [256]int8 {
 // ParseCigar parses a SAM CIGAR field. The unavailable marker "*" parses
 // to a nil Cigar.
 func ParseCigar(s string) (Cigar, error) {
-	if s == "*" || s == "" {
+	c, err := ParseCigarInto(make(Cigar, 0, 4), s)
+	if err != nil {
+		return nil, err
+	}
+	if len(c) == 0 {
 		return nil, nil
 	}
-	c := make(Cigar, 0, 4)
+	return c, nil
+}
+
+// ParseCigarInto parses a SAM CIGAR field into dst's backing array,
+// growing it only when the operation count exceeds its capacity. The
+// unavailable marker "*" yields dst truncated to length zero (which
+// renders as "*", exactly like nil). Error messages are identical to
+// ParseCigar's. It is the allocation-free counterpart for hot loops
+// that parse into one reused Record.
+func ParseCigarInto(dst Cigar, s string) (Cigar, error) {
+	dst = dst[:0]
+	if s == "*" || s == "" {
+		return dst, nil
+	}
 	n := 0
 	haveDigit := false
 	for i := 0; i < len(s); i++ {
@@ -120,16 +137,16 @@ func ParseCigar(s string) (Cigar, error) {
 		}
 		op := cigarOpLookup[b]
 		if op < 0 || !haveDigit {
-			return nil, fmt.Errorf("%w: %q at offset %d", ErrInvalidCigar, s, i)
+			return dst[:0], fmt.Errorf("%w: %q at offset %d", ErrInvalidCigar, s, i)
 		}
-		c = append(c, NewCigarOp(CigarOpType(op), n))
+		dst = append(dst, NewCigarOp(CigarOpType(op), n))
 		n = 0
 		haveDigit = false
 	}
 	if haveDigit {
-		return nil, fmt.Errorf("%w: %q ends in a length", ErrInvalidCigar, s)
+		return dst[:0], fmt.Errorf("%w: %q ends in a length", ErrInvalidCigar, s)
 	}
-	return c, nil
+	return dst, nil
 }
 
 // String renders the CIGAR in SAM text form; a nil/empty Cigar renders as "*".

@@ -37,8 +37,10 @@ func ParseRecord(line string) (Record, error) {
 	return r, nil
 }
 
-// ParseRecordInto parses line into r, reusing r's Tags slice capacity.
-// It is the allocation-light entry point for the converter hot path.
+// ParseRecordInto parses line into r, reusing r's Tags and Cigar slice
+// capacity. It is the allocation-light entry point for the converter
+// hot path; callers that retain parsed records across calls must pass a
+// fresh Record (or copy the slices) since the backing arrays are reused.
 func ParseRecordInto(r *Record, line string) error {
 	r.Tags = r.Tags[:0]
 	return parseRecordInto(r, line)
@@ -105,7 +107,7 @@ func parseRecordInto(r *Record, line string) error {
 	if !ok {
 		return fmt.Errorf("%w: missing CIGAR", ErrInvalidRecord)
 	}
-	r.Cigar, err = ParseCigar(field)
+	r.Cigar, err = ParseCigarInto(r.Cigar, field)
 	if err != nil {
 		return err
 	}

@@ -39,6 +39,12 @@ type Options struct {
 	// default (bgzf.AutoWorkers); 1 forces the sequential paths.
 	// Orthogonal to Cores, exactly as in the converter runtime.
 	CodecWorkers int
+	// SharedCodec attaches the spilled-run writers to the process-wide
+	// bgzf shared deflate pool (bgzf.SharedPool) instead of giving each
+	// short-lived run its own CodecWorkers goroutines. With many
+	// parallel spill workers this keeps the codec goroutine count at
+	// the pool's throughput-sized level rather than Cores × per-stream.
+	SharedCodec bool
 }
 
 func (o *Options) normalize() {
@@ -174,7 +180,7 @@ func sortToBAM(src recordSource, outPath string, opts Options) (int64, error) {
 			for j := range jobs {
 				SortRecords(header, j.recs)
 				path := filepath.Join(tmpDir, fmt.Sprintf("run%06d.bam", j.idx))
-				if err := writeRun(path, header, j.recs, spillWorkers); err != nil {
+				if err := writeRun(path, header, j.recs, spillWorkers, opts.SharedCodec); err != nil {
 					workerErr[worker] = err
 					// Drain remaining jobs so the producer never blocks.
 					continue
@@ -236,12 +242,16 @@ func sortToBAM(src recordSource, outPath string, opts Options) (int64, error) {
 }
 
 // writeRun spills one sorted chunk as a BAM run.
-func writeRun(path string, h *sam.Header, recs []sam.Record, codecWorkers int) error {
+func writeRun(path string, h *sam.Header, recs []sam.Record, codecWorkers int, shared bool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	w, err := bam.NewWriter(f, h, bam.WithCodecWorkers(codecWorkers))
+	wopt := bam.WithCodecWorkers(codecWorkers)
+	if shared {
+		wopt = bam.WithSharedCodec()
+	}
+	w, err := bam.NewWriter(f, h, wopt)
 	if err != nil {
 		f.Close()
 		return err
