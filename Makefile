@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-decode race-convert vet staticcheck fmt-check bench-smoke bench-decode bench-convert metrics-smoke ci
+.PHONY: all build test race race-decode race-convert race-mpinet vet staticcheck fmt-check bench-smoke bench-decode bench-convert metrics-smoke fuzz-frame ci
 
 all: build
 
@@ -29,6 +29,18 @@ race-decode:
 # parpipe pool plumbing under it).
 race-convert:
 	$(GO) test -race -count=1 ./internal/conv ./internal/sam ./internal/formats ./internal/bgzf ./internal/parpipe
+
+# Focused race run over the rank transports: the transport conformance
+# table on both the in-process and TCP worlds, the multi-process
+# loopback acceptance tests (byte-identical distributed conversion,
+# killed-worker abort) and the flag plumbing.
+race-mpinet:
+	$(GO) test -race -count=1 ./internal/mpi ./internal/mpinet ./internal/mpiflag
+
+# A short deterministic fuzz pass over the wire-frame decoder: corrupt
+# frames must error, never panic or over-allocate.
+fuzz-frame:
+	$(GO) test -run '^$$' -fuzz 'FuzzFrameDecode' -fuzztime 10s ./internal/mpinet
 
 vet:
 	$(GO) vet ./...
@@ -101,5 +113,5 @@ bench-convert:
 metrics-smoke:
 	$(GO) test -run 'TestMetricsSchema' -count=1 ./internal/obsflag
 
-ci: vet staticcheck fmt-check build race race-decode race-convert bench-smoke metrics-smoke
+ci: vet staticcheck fmt-check build race race-decode race-convert race-mpinet bench-smoke metrics-smoke
 	@echo "ci: all checks passed"

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"parseq"
+	"parseq/internal/experiments"
+	"parseq/internal/fdr"
+	"parseq/internal/flagstat"
+	"parseq/internal/hist"
+	"parseq/internal/mpi"
+	"parseq/internal/mpiflag"
+)
+
+// runDistributed exercises the analysis pipeline across a TCP rank
+// world: the measured converter, histogram construction, flagstat and
+// the Algorithm 2 FDR reduction all run with this process as one rank.
+// Every process generates the same deterministic dataset (each needs a
+// local copy of the input — ranks may sit on different hosts), runs the
+// same sequence of worlds, and rank 0 reports. This is the real
+// multi-process counterpart of the calibrated cluster model the
+// figures use.
+func runDistributed(sess *mpiflag.Session, sc experiments.Scale, tmp string, keep bool) error {
+	rank, ranks := sess.Rank(), sess.Ranks(0)
+	launch := sess.Launcher()
+	if tmp == "" {
+		dir, err := os.MkdirTemp("", "ngsbench-dist-*")
+		if err != nil {
+			return err
+		}
+		if !keep {
+			defer os.RemoveAll(dir)
+		}
+		tmp = dir
+	}
+
+	reads := sc.Reads
+	if reads <= 0 {
+		reads = 50000
+	}
+	ds := parseq.GenerateDataset(parseq.DefaultDatasetConfig(reads))
+	samPath := filepath.Join(tmp, "dist.sam")
+	sf, err := os.Create(samPath)
+	if err != nil {
+		return err
+	}
+	if err := ds.WriteSAM(sf); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	report := func(format string, args ...any) {
+		if rank == 0 {
+			fmt.Printf(format, args...)
+		}
+	}
+	report("distributed suite: %d ranks, %d reads, input %s\n", ranks, reads, samPath)
+
+	// Converter: each rank converts its Algorithm 1 partition into its
+	// own target file.
+	start := time.Now()
+	res, err := parseq.ConvertSAM(samPath, parseq.Options{
+		Format: "sam", Cores: ranks, OutDir: tmp, OutPrefix: "dist",
+		Launch: launch,
+	})
+	if err != nil {
+		return fmt.Errorf("convert: %w", err)
+	}
+	report("convert     %8d records on rank 0 in %v\n", res.Stats.Records, time.Since(start))
+
+	// Histogram: partition, accumulate, gather-reduce at rank 0.
+	rname := ds.Header.RefByID(0).Name
+	start = time.Now()
+	hg, err := hist.FromSAMParallelLaunch(samPath, rname, 100, ranks, launch)
+	if err != nil {
+		return fmt.Errorf("hist: %w", err)
+	}
+	report("hist        %8d bins for %s in %v\n", len(hg.Bins), rname, time.Since(start))
+
+	// Flagstat: partition, tally, gather-merge at rank 0.
+	start = time.Now()
+	fs, err := flagstat.SAMFileLaunch(samPath, ranks, launch)
+	if err != nil {
+		return fmt.Errorf("flagstat: %w", err)
+	}
+	report("flagstat    %8d records in %v\n", fs.Total, time.Since(start))
+
+	// FDR: Algorithm 2's fused single-synchronisation reduction.
+	bins, sims := sc.Bins, sc.Sims
+	if bins <= 0 {
+		bins = 4096
+	}
+	if sims <= 0 {
+		sims = 8
+	}
+	histogram := parseq.GenerateHistogram(bins, 42)
+	simsets := parseq.GenerateSimulations(sims, bins, 43)
+	var rate float64
+	start = time.Now()
+	err = launchOrRun(launch, ranks, func(c *mpi.Comm) error {
+		v, err := fdr.ParallelFused(c, histogram, simsets, 4.0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			rate = v
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("fdr: %w", err)
+	}
+	report("fdr         FDR(4.0) = %.6f over %d sims in %v\n", rate, sims, time.Since(start))
+	return nil
+}
+
+// launchOrRun resolves a nil launcher to the in-process runtime.
+func launchOrRun(launch mpi.Launcher, ranks int, fn func(*mpi.Comm) error) error {
+	if launch == nil {
+		launch = mpi.Run
+	}
+	return launch(ranks, fn)
+}

@@ -8,6 +8,13 @@
 //	ngsbench                    # every table and figure
 //	ngsbench -exp fig8          # one experiment
 //	ngsbench -reads 100000      # larger measured workload
+//
+// With -transport tcp the binary instead runs the distributed suite —
+// converter, histogram, flagstat and FDR across a multi-process rank
+// world (start one process per rank):
+//
+//	ngsbench -transport tcp -world 2 -rank 0 -coord :9900
+//	ngsbench -transport tcp -world 2 -rank 1 -coord host0:9900
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"parseq"
 	"parseq/internal/experiments"
+	"parseq/internal/mpiflag"
 	"parseq/internal/obsflag"
 )
 
@@ -32,6 +40,7 @@ func main() {
 		codec    = flag.Int("codec-workers", 0, "BGZF codec goroutines for BAM/BAMZ steps (0: auto, one per CPU capped; 1: sequential codec)")
 		parse    = flag.Int("parse-workers", 0, "per-rank SAM parse/encode goroutines for the measured text conversions (0: auto; 1: sequential)")
 		obsFlags = obsflag.Register(nil)
+		mpiFlags = mpiflag.Register(nil)
 	)
 	flag.Parse()
 
@@ -59,6 +68,18 @@ func main() {
 	sc.KeepTmp = *keep
 	sc.CodecWorkers = *codec
 	sc.ParseWorkers = *parse
+
+	mpiSession, err := mpiFlags.Connect()
+	if err != nil {
+		die(err)
+	}
+	defer mpiSession.Close()
+	if mpiSession.Distributed() {
+		if err := runDistributed(mpiSession, sc, *tmp, *keep); err != nil {
+			die(err)
+		}
+		return
+	}
 
 	if *exp == "all" {
 		if err := parseq.RunAllExperiments(os.Stdout, sc); err != nil {

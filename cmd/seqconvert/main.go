@@ -8,6 +8,12 @@
 //	seqconvert -in data.bam  -preprocess              # data.bamx + data.baix
 //	seqconvert -in data.bamx -format sam -p 8 -region chr1:1-500000
 //	seqconvert -in data.sam  -converter psam -format fastq -p 8
+//
+// With -transport tcp the same command becomes one rank of a
+// multi-process world (run it once per rank with the same work flags):
+//
+//	seqconvert -transport tcp -world 2 -rank 0 -coord :9900 -in data.sam -p 2
+//	seqconvert -transport tcp -world 2 -rank 1 -coord host0:9900 -in data.sam -p 2
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"strings"
 
 	"parseq"
+	"parseq/internal/mpiflag"
 	"parseq/internal/obsflag"
 )
 
@@ -35,15 +42,13 @@ func main() {
 		codecWork = flag.Int("codec-workers", 0, "BGZF codec goroutines per BAM stream (0: auto, one per CPU capped; 1: sequential codec)")
 		parseWork = flag.Int("parse-workers", 0, "per-rank parse/encode goroutines for SAM text input (0: auto; 1: sequential line loop)")
 		obsFlags  = obsflag.Register(nil)
+		mpiFlags  = mpiflag.Register(nil)
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "seqconvert: -in is required")
 		flag.Usage()
 		os.Exit(2)
-	}
-	if *preCores == 0 {
-		*preCores = *cores
 	}
 	obsSession, err := obsFlags.Start()
 	if err != nil {
@@ -54,6 +59,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "seqconvert:", err)
 		}
 	}()
+	mpiSession, err := mpiFlags.Connect()
+	if err != nil {
+		die(err)
+	}
+	defer mpiSession.Close()
+	// Under TCP the world size is the rank count; every phase of a
+	// distributed run shares the one world, so -pre-p must match too.
+	*cores = mpiSession.Ranks(*cores)
+	if *preCores == 0 || mpiSession.Distributed() {
+		*preCores = *cores
+	}
 
 	kind := *converter
 	if kind == "auto" {
@@ -74,6 +90,7 @@ func main() {
 	opts := parseq.Options{
 		Format: *format, Cores: *cores, OutDir: *outDir, OutPrefix: *prefix,
 		CodecWorkers: *codecWork, ParseWorkers: *parseWork,
+		Launch: mpiSession.Launcher(),
 	}
 	if *region != "" {
 		r, err := parseq.ParseRegion(*region)
@@ -95,7 +112,7 @@ func main() {
 			fmt.Printf("preprocessed %d records into %s in %v\n",
 				res.Records, res.BAMXFiles[0], res.Duration)
 		case "sam", "psam":
-			res, err := parseq.PreprocessSAM(*in, *outDir, *prefix, *preCores)
+			res, err := parseq.PreprocessSAMLaunch(*in, *outDir, *prefix, *preCores, mpiSession.Launcher())
 			if err != nil {
 				die(err)
 			}

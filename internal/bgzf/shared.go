@@ -128,5 +128,10 @@ func (s *poolSizer) observe(n int, d time.Duration) {
 	got := s.pool.SetWorkers(need)
 	if reg := obs.Default(); reg != nil {
 		reg.Gauge("bgzf.shared.workers").Set(int64(got))
+		// The measured per-worker EWMA bytes/s behind the sizing
+		// decision — the observability half of admission control: an
+		// operator (or a future scheduler) can see the throughput the
+		// pool believes one worker delivers.
+		reg.Gauge("bgzf.shared_pool.throughput").Set(int64(per))
 	}
 }

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"sync"
 	"testing"
+	"time"
+
+	"parseq/internal/obs"
 )
 
 func compressShared(t testing.TB, data []byte) []byte {
@@ -61,5 +64,30 @@ func TestSharedPoolSingleton(t *testing.T) {
 	}
 	if SharedPool().Max() < 1 {
 		t.Errorf("shared pool max = %d", SharedPool().Max())
+	}
+}
+
+// The sizer must export its per-worker EWMA bytes/s so operators can
+// see the throughput behind the pool's sizing decisions.
+func TestSharedPoolThroughputGauge(t *testing.T) {
+	reg := obs.New()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+	s := newPoolSizer(SharedPool())
+	// One full window at a known rate: 64 KiB per block in 1ms each.
+	for i := 0; i < resizeEvery; i++ {
+		s.observe(64<<10, time.Millisecond)
+	}
+	got := reg.Gauge("bgzf.shared_pool.throughput").Value()
+	if got <= 0 {
+		t.Fatalf("bgzf.shared_pool.throughput = %d, want > 0", got)
+	}
+	// 64 KiB / 1 ms = ~64 MiB/s; the EWMA of a constant is the constant.
+	want := int64(64 << 10 * 1000)
+	if got < want/2 || got > want*2 {
+		t.Errorf("throughput gauge = %d, want about %d", got, want)
+	}
+	if reg.Gauge("bgzf.shared.workers").Value() < 1 {
+		t.Errorf("bgzf.shared.workers gauge = %d", reg.Gauge("bgzf.shared.workers").Value())
 	}
 }

@@ -105,7 +105,7 @@ func ConvertBAMZ(bamzPath, baixPath string, opts Options) (*Result, error) {
 	var res Result
 	res.Files = make([]string, opts.Cores)
 	var tally counters
-	err = mpi.Run(opts.Cores, func(c *mpi.Comm) error {
+	err = opts.launch()(opts.Cores, func(c *mpi.Comm) error {
 		csp := ph.Start(c.Rank(), "convert")
 		defer csp.End()
 		lo, hi := c.SplitRange(count)

@@ -24,6 +24,7 @@ import (
 
 	"parseq/internal/bgzf"
 	"parseq/internal/formats"
+	"parseq/internal/mpi"
 	"parseq/internal/sam"
 )
 
@@ -147,6 +148,13 @@ type Options struct {
 	// formats.Register get one encoder instance per worker, so their
 	// Encode must not rely on cross-record state.
 	ParseWorkers int
+	// Launch runs the converter's rank function across the world. Nil
+	// (the default) selects mpi.Run — Cores goroutine ranks in this
+	// process. A distributed launcher (mpinet.World.Launcher) executes
+	// only the local process's rank, so Files, Stats and the shared
+	// tally cover this rank alone; the per-rank target files on disk
+	// are the cross-process ground truth.
+	Launch mpi.Launcher
 
 	// sharedCodec records that CodecWorkers was left at the adaptive
 	// default: the short-lived per-rank BAM shard writers then attach to
@@ -176,6 +184,14 @@ func (o *Options) normalize() error {
 		o.OutPrefix = "out"
 	}
 	return nil
+}
+
+// launch resolves the Launch option, defaulting to the in-process world.
+func (o *Options) launch() mpi.Launcher {
+	if o.Launch != nil {
+		return o.Launch
+	}
+	return mpi.Run
 }
 
 // outPath names rank r's target file.

@@ -30,6 +30,17 @@ func PreprocessSAMParallel(samPath, outDir, prefix string, cores int) (*Preproce
 // 1 forces the sequential loop, and ≤ 0 selects the adaptive count
 // (GOMAXPROCS/cores, clamped).
 func PreprocessSAMParallelWorkers(samPath, outDir, prefix string, cores, parseWorkers int) (*PreprocessResult, error) {
+	return PreprocessSAMParallelLaunch(samPath, outDir, prefix, cores, parseWorkers, nil)
+}
+
+// PreprocessSAMParallelLaunch is PreprocessSAMParallelWorkers with an
+// explicit launcher; nil selects the in-process mpi.Run. Under a
+// distributed launcher each process preprocesses and records only its
+// own rank's BAMX/BAIX pair — the files on disk are the shared result.
+func PreprocessSAMParallelLaunch(samPath, outDir, prefix string, cores, parseWorkers int, launch mpi.Launcher) (*PreprocessResult, error) {
+	if launch == nil {
+		launch = mpi.Run
+	}
 	if cores < 1 {
 		cores = 1
 	}
@@ -60,7 +71,7 @@ func PreprocessSAMParallelWorkers(samPath, outDir, prefix string, cores, parseWo
 	}
 	var tally counters
 	ph := obs.NewPhaseSet(obs.Default())
-	err = mpi.Run(cores, func(c *mpi.Comm) error {
+	err = launch(cores, func(c *mpi.Comm) error {
 		psp := ph.Start(c.Rank(), "partition")
 		br, err := partition.SAMForwardMPI(c, f, dataStart, fi.Size())
 		psp.End()
@@ -192,7 +203,9 @@ func ConvertSAMPreprocessed(samPath string, preCores int, opts Options) (*Result
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
-	pre, err := PreprocessSAMParallelWorkers(samPath, opts.OutDir, opts.OutPrefix+"_pre", preCores, opts.ParseWorkers)
+	// Under a distributed launcher both phases run on the same world, so
+	// preCores must equal opts.Cores there (the launcher checks).
+	pre, err := PreprocessSAMParallelLaunch(samPath, opts.OutDir, opts.OutPrefix+"_pre", preCores, opts.ParseWorkers, opts.Launch)
 	if err != nil {
 		return nil, err
 	}

@@ -92,7 +92,7 @@ func ConvertSAM(samPath string, opts Options) (*Result, error) {
 	// rank 0: PartitionTime/ConvertTime are the spans' wall-clock windows
 	// across ranks, and the same spans land in the trace when enabled.
 	ph := obs.NewPhaseSet(obs.Default())
-	err = mpi.Run(opts.Cores, func(c *mpi.Comm) error {
+	err = opts.launch()(opts.Cores, func(c *mpi.Comm) error {
 		psp := ph.Start(c.Rank(), "partition")
 		br, err := partition.SAMForwardMPI(c, f, dataStart, fi.Size())
 		psp.End()

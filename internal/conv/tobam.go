@@ -44,7 +44,7 @@ func ConvertSAMToBAM(samPath string, opts Options) (*Result, error) {
 	res.Files = make([]string, opts.Cores)
 	var tally counters
 	ph := obs.NewPhaseSet(obs.Default())
-	err = mpi.Run(opts.Cores, func(c *mpi.Comm) error {
+	err = opts.launch()(opts.Cores, func(c *mpi.Comm) error {
 		psp := ph.Start(c.Rank(), "partition")
 		br, err := partition.SAMForwardMPI(c, f, dataStart, fi.Size())
 		psp.End()

@@ -153,6 +153,16 @@ func Of(recs []sam.Record) Stats {
 // is partitioned with Algorithm 1, each rank tallies its partition, and
 // rank 0 gathers and merges the partial counters.
 func SAMFile(samPath string, cores int) (Stats, error) {
+	return SAMFileLaunch(samPath, cores, nil)
+}
+
+// SAMFileLaunch is SAMFile with an explicit launcher; nil selects the
+// in-process mpi.Run. Under a distributed launcher the merged Stats are
+// complete on rank 0's process only.
+func SAMFileLaunch(samPath string, cores int, launch mpi.Launcher) (Stats, error) {
+	if launch == nil {
+		launch = mpi.Run
+	}
 	if cores < 1 {
 		cores = 1
 	}
@@ -171,7 +181,7 @@ func SAMFile(samPath string, cores int) (Stats, error) {
 	}
 
 	var total Stats
-	err = mpi.Run(cores, func(c *mpi.Comm) error {
+	err = launch(cores, func(c *mpi.Comm) error {
 		br, err := partition.SAMForwardMPI(c, f, dataStart, fi.Size())
 		if err != nil {
 			return err

@@ -19,6 +19,17 @@ import (
 // records, and the partials reduce by element-wise addition (coverage is
 // associative).
 func FromSAMParallel(samPath, rname string, binSize, cores int) (*Histogram, error) {
+	return FromSAMParallelLaunch(samPath, rname, binSize, cores, nil)
+}
+
+// FromSAMParallelLaunch is FromSAMParallel with an explicit launcher;
+// nil selects the in-process mpi.Run. Under a distributed launcher the
+// reduced histogram is complete on rank 0's process only — other ranks
+// receive their unreduced local total.
+func FromSAMParallelLaunch(samPath, rname string, binSize, cores int, launch mpi.Launcher) (*Histogram, error) {
+	if launch == nil {
+		launch = mpi.Run
+	}
 	if cores < 1 {
 		cores = 1
 	}
@@ -45,7 +56,7 @@ func FromSAMParallel(samPath, rname string, binSize, cores int) (*Histogram, err
 	if err != nil {
 		return nil, err
 	}
-	err = mpi.Run(cores, func(c *mpi.Comm) error {
+	err = launch(cores, func(c *mpi.Comm) error {
 		br, err := partition.SAMForwardMPI(c, f, dataStart, fi.Size())
 		if err != nil {
 			return err

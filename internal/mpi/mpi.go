@@ -1,9 +1,15 @@
-// Package mpi is an in-process message-passing runtime standing in for
-// the MPI library the paper's C++ implementation uses. Ranks are
-// goroutines; point-to-point channels, barriers and collectives mirror
-// the MPI calls the paper's Algorithms 1 and 2 are written against, so
-// every parallel algorithm in this repository reads like its published
-// pseudocode.
+// Package mpi is a message-passing runtime standing in for the MPI
+// library the paper's C++ implementation uses. Point-to-point sends,
+// barriers and collectives mirror the MPI calls the paper's Algorithms
+// 1 and 2 are written against, so every parallel algorithm in this
+// repository reads like its published pseudocode.
+//
+// The runtime is split in two layers. Comm implements every collective,
+// the typed helpers and the telemetry against the small Transport
+// interface (transport.go). The default transport runs ranks as
+// goroutines over in-process channels (Run); internal/mpinet implements
+// the same interface over TCP so unchanged rank code spans processes
+// and hosts — the paper's 32-node deployment.
 //
 // The runtime is deterministic where the paper's algorithms need it to
 // be: collectives combine contributions in rank order, so floating-point
@@ -15,7 +21,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"parseq/internal/obs"
@@ -26,247 +31,126 @@ import (
 // instead of deadlocking.
 var ErrAborted = errors.New("mpi: world aborted")
 
-// message is one point-to-point payload.
-type message struct {
-	tag  int
-	data []byte
+// rankObs carries one rank's communication counters in the process-wide
+// obs registry: the time a rank spends blocked in Send/Recv/Barrier is
+// the paper's compute-vs-communication split, and the grand total
+// surfaces as mpi.wait_ns in the -metrics export. Counters are memoised
+// by name, so repeated worlds accumulate into the same series.
+type rankObs struct {
+	sendWait    *obs.Counter // mpi.rank<r>.send_wait_ns
+	recvWait    *obs.Counter // mpi.rank<r>.recv_wait_ns
+	barrierWait *obs.Counter // mpi.rank<r>.barrier_wait_ns
+	sends       *obs.Counter
+	recvs       *obs.Counter
+	barriers    *obs.Counter
+	bytes       *obs.Counter // payload bytes sent by rank
+	waitNS      *obs.Counter // mpi.wait_ns, all ranks, all calls
 }
 
-// world is the shared state of one Run invocation.
-type world struct {
-	size  int
-	chans [][]chan message // chans[from][to]
-
-	abortOnce sync.Once
-	abort     chan struct{}
-
-	barrierMu    sync.Mutex
-	barrierCond  *sync.Cond
-	barrierCount int
-	barrierGen   uint64
-
-	obs *worldObs // nil when telemetry is disabled
-}
-
-// worldObs carries the per-rank communication counters one Run records
-// into the process-wide obs registry: the time each rank spends blocked
-// in Send/Recv/Barrier is the paper's compute-vs-communication split,
-// and the grand total surfaces as mpi.wait_ns in the -metrics export.
-type worldObs struct {
-	sendWait    []*obs.Counter // mpi.rank<r>.send_wait_ns
-	recvWait    []*obs.Counter // mpi.rank<r>.recv_wait_ns
-	barrierWait []*obs.Counter // mpi.rank<r>.barrier_wait_ns
-	sends       []*obs.Counter
-	recvs       []*obs.Counter
-	barriers    []*obs.Counter
-	bytes       []*obs.Counter // payload bytes sent by rank
-	waitNS      *obs.Counter   // mpi.wait_ns, all ranks, all calls
-}
-
-// newWorldObs registers the per-rank counters. Counters are memoised by
-// name, so repeated Run invocations accumulate into the same series.
-func newWorldObs(reg *obs.Registry, size int) *worldObs {
-	o := &worldObs{
-		sendWait:    make([]*obs.Counter, size),
-		recvWait:    make([]*obs.Counter, size),
-		barrierWait: make([]*obs.Counter, size),
-		sends:       make([]*obs.Counter, size),
-		recvs:       make([]*obs.Counter, size),
-		barriers:    make([]*obs.Counter, size),
-		bytes:       make([]*obs.Counter, size),
+func newRankObs(reg *obs.Registry, rank int) *rankObs {
+	prefix := fmt.Sprintf("mpi.rank%d.", rank)
+	return &rankObs{
+		sendWait:    reg.Counter(prefix + "send_wait_ns"),
+		recvWait:    reg.Counter(prefix + "recv_wait_ns"),
+		barrierWait: reg.Counter(prefix + "barrier_wait_ns"),
+		sends:       reg.Counter(prefix + "sends"),
+		recvs:       reg.Counter(prefix + "recvs"),
+		barriers:    reg.Counter(prefix + "barriers"),
+		bytes:       reg.Counter(prefix + "send_bytes"),
 		waitNS:      reg.Counter("mpi.wait_ns"),
 	}
-	for r := 0; r < size; r++ {
-		prefix := fmt.Sprintf("mpi.rank%d.", r)
-		o.sendWait[r] = reg.Counter(prefix + "send_wait_ns")
-		o.recvWait[r] = reg.Counter(prefix + "recv_wait_ns")
-		o.barrierWait[r] = reg.Counter(prefix + "barrier_wait_ns")
-		o.sends[r] = reg.Counter(prefix + "sends")
-		o.recvs[r] = reg.Counter(prefix + "recvs")
-		o.barriers[r] = reg.Counter(prefix + "barriers")
-		o.bytes[r] = reg.Counter(prefix + "send_bytes")
-	}
-	return o
 }
 
 // Comm is one rank's handle on the world.
 type Comm struct {
-	rank int
-	w    *world
+	t   Transport
+	obs *rankObs // nil when telemetry is disabled
 }
 
-// Run executes fn on size ranks concurrently and waits for all of them.
-// It returns the first error any rank produced. After a failure the other
-// ranks' communication calls return ErrAborted, so the world always
-// drains.
-func Run(size int, fn func(c *Comm) error) error {
-	if size < 1 {
-		return fmt.Errorf("mpi: invalid world size %d", size)
-	}
-	w := &world{size: size, abort: make(chan struct{})}
+// NewComm wraps a transport in a Comm, attaching telemetry from the
+// default obs registry when one is installed.
+func NewComm(t Transport) *Comm {
+	c := &Comm{t: t}
 	if reg := obs.Default(); reg != nil {
-		w.obs = newWorldObs(reg, size)
+		c.obs = newRankObs(reg, t.Rank())
 	}
-	w.barrierCond = sync.NewCond(&w.barrierMu)
-	w.chans = make([][]chan message, size)
-	for i := range w.chans {
-		w.chans[i] = make([]chan message, size)
-		for j := range w.chans[i] {
-			// A deep buffer decouples sender and receiver pacing; the
-			// paper's algorithms exchange O(1) messages per rank pair.
-			w.chans[i][j] = make(chan message, 64)
-		}
-	}
-
-	errs := make([]error, size)
-	var wg sync.WaitGroup
-	wg.Add(size)
-	for r := 0; r < size; r++ {
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
-					w.doAbort()
-				}
-			}()
-			if err := fn(&Comm{rank: rank, w: w}); err != nil {
-				errs[rank] = err
-				w.doAbort()
-			}
-		}(r)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil && !errors.Is(err, ErrAborted) {
-			return err
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (w *world) doAbort() {
-	w.abortOnce.Do(func() {
-		close(w.abort)
-		// Wake any rank parked in Barrier.
-		w.barrierMu.Lock()
-		w.barrierCond.Broadcast()
-		w.barrierMu.Unlock()
-	})
-}
-
-func (w *world) aborted() bool {
-	select {
-	case <-w.abort:
-		return true
-	default:
-		return false
-	}
+	return c
 }
 
 // Rank returns this rank's index in [0, Size).
-func (c *Comm) Rank() int { return c.rank }
+func (c *Comm) Rank() int { return c.t.Rank() }
 
 // Size returns the number of ranks in the world.
-func (c *Comm) Size() int { return c.w.size }
+func (c *Comm) Size() int { return c.t.Size() }
+
+// Transport returns the transport underneath this Comm.
+func (c *Comm) Transport() Transport { return c.t }
 
 // Send delivers data to rank `to` with a tag. The data is copied, so the
 // caller may reuse the slice.
 func (c *Comm) Send(to, tag int, data []byte) error {
-	if to < 0 || to >= c.w.size {
+	if to < 0 || to >= c.t.Size() {
 		return fmt.Errorf("mpi: Send to invalid rank %d", to)
 	}
-	msg := message{tag: tag, data: append([]byte(nil), data...)}
-	if o := c.w.obs; o != nil {
-		o.sends[c.rank].Add(1)
-		o.bytes[c.rank].Add(int64(len(data)))
+	if o := c.obs; o != nil {
+		o.sends.Add(1)
+		o.bytes.Add(int64(len(data)))
 		start := time.Now()
 		defer func() {
 			wait := time.Since(start).Nanoseconds()
-			o.sendWait[c.rank].Add(wait)
+			o.sendWait.Add(wait)
 			o.waitNS.Add(wait)
 		}()
 	}
-	select {
-	case c.w.chans[c.rank][to] <- msg:
-		return nil
-	case <-c.w.abort:
-		return ErrAborted
-	}
+	return c.t.Send(to, tag, data)
 }
 
 // Recv receives the next message from rank `from`, which must carry the
 // expected tag. Messages from one sender arrive in send order.
 func (c *Comm) Recv(from, tag int) ([]byte, error) {
-	if from < 0 || from >= c.w.size {
+	if from < 0 || from >= c.t.Size() {
 		return nil, fmt.Errorf("mpi: Recv from invalid rank %d", from)
 	}
-	if o := c.w.obs; o != nil {
-		o.recvs[c.rank].Add(1)
+	if o := c.obs; o != nil {
+		o.recvs.Add(1)
 		start := time.Now()
 		defer func() {
 			wait := time.Since(start).Nanoseconds()
-			o.recvWait[c.rank].Add(wait)
+			o.recvWait.Add(wait)
 			o.waitNS.Add(wait)
 		}()
 	}
-	select {
-	case msg := <-c.w.chans[from][c.rank]:
-		if msg.tag != tag {
-			return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d",
-				c.rank, tag, from, msg.tag)
-		}
-		return msg.data, nil
-	case <-c.w.abort:
-		return nil, ErrAborted
+	got, data, err := c.t.Recv(from)
+	if err != nil {
+		return nil, err
 	}
+	if got != tag {
+		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d",
+			c.t.Rank(), tag, from, got)
+	}
+	return data, nil
 }
 
 // Barrier blocks until every rank has entered it. It matches the paper's
 // "set a global barrier" steps (Algorithm 1 line 16, Algorithm 2 line 4).
 func (c *Comm) Barrier() error {
-	w := c.w
-	if o := w.obs; o != nil {
-		o.barriers[c.rank].Add(1)
+	if o := c.obs; o != nil {
+		o.barriers.Add(1)
 		start := time.Now()
 		defer func() {
 			wait := time.Since(start).Nanoseconds()
-			o.barrierWait[c.rank].Add(wait)
+			o.barrierWait.Add(wait)
 			o.waitNS.Add(wait)
 		}()
 	}
-	w.barrierMu.Lock()
-	defer w.barrierMu.Unlock()
-	if w.aborted() {
-		return ErrAborted
-	}
-	gen := w.barrierGen
-	w.barrierCount++
-	if w.barrierCount == w.size {
-		w.barrierCount = 0
-		w.barrierGen++
-		w.barrierCond.Broadcast()
-		return nil
-	}
-	for gen == w.barrierGen && !w.aborted() {
-		w.barrierCond.Wait()
-	}
-	if w.aborted() {
-		return ErrAborted
-	}
-	return nil
+	return c.t.Barrier()
 }
 
 // Bcast distributes root's data to every rank. All ranks pass their own
 // data argument; non-roots receive the broadcast value.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
-	if c.rank == root {
-		for r := 0; r < c.w.size; r++ {
+	if c.Rank() == root {
+		for r := 0; r < c.Size(); r++ {
 			if r == root {
 				continue
 			}
@@ -282,12 +166,12 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // Gather collects every rank's data at root, indexed by rank. Non-root
 // ranks receive nil.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
-	if c.rank != root {
+	if c.Rank() != root {
 		return nil, c.Send(root, tagGather, data)
 	}
-	out := make([][]byte, c.w.size)
+	out := make([][]byte, c.Size())
 	out[root] = append([]byte(nil), data...)
-	for r := 0; r < c.w.size; r++ {
+	for r := 0; r < c.Size(); r++ {
 		if r == root {
 			continue
 		}
@@ -303,11 +187,11 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 // Scatter distributes parts[r] from root to each rank r; every rank
 // returns its own part. Only root's parts argument is consulted.
 func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
-	if c.rank == root {
-		if len(parts) != c.w.size {
-			return nil, fmt.Errorf("mpi: Scatter needs %d parts, got %d", c.w.size, len(parts))
+	if c.Rank() == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("mpi: Scatter needs %d parts, got %d", c.Size(), len(parts))
 		}
-		for r := 0; r < c.w.size; r++ {
+		for r := 0; r < c.Size(); r++ {
 			if r == root {
 				continue
 			}
@@ -333,11 +217,11 @@ const (
 func (c *Comm) ReduceFloat64Sum(root int, v float64) (float64, error) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-	if c.rank != root {
+	if c.Rank() != root {
 		return 0, c.Send(root, tagReduce, buf[:])
 	}
 	sum := 0.0
-	for r := 0; r < c.w.size; r++ {
+	for r := 0; r < c.Size(); r++ {
 		if r == root {
 			sum += v
 			continue
@@ -359,11 +243,11 @@ func (c *Comm) ReduceFloat64Sum(root int, v float64) (float64, error) {
 func (c *Comm) ReduceInt64Sum(root int, v int64) (int64, error) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(v))
-	if c.rank != root {
+	if c.Rank() != root {
 		return 0, c.Send(root, tagReduce, buf[:])
 	}
 	var sum int64
-	for r := 0; r < c.w.size; r++ {
+	for r := 0; r < c.Size(); r++ {
 		if r == root {
 			sum += v
 			continue
@@ -445,7 +329,7 @@ func (c *Comm) RecvFloat64s(from, tag int) ([]float64, error) {
 // rank's [lo, hi) slice. It is the "evenly divide the datasets into N
 // partitions" step shared by every algorithm in the paper.
 func (c *Comm) SplitRange(n int) (lo, hi int) {
-	return SplitRange(n, c.w.size, c.rank)
+	return SplitRange(n, c.Size(), c.Rank())
 }
 
 // SplitRange divides [0, n) into size near-equal contiguous pieces and

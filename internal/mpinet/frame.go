@@ -1,0 +1,163 @@
+// Wire framing for the TCP rank transport. Every byte on an mpinet
+// connection — rendezvous, data, barriers, aborts — travels as one
+// length-prefixed binary frame, so a single decoder guards the whole
+// protocol surface. The format is deliberately gob-free and
+// fixed-layout:
+//
+//	uint32  big-endian length of everything after the prefix
+//	byte    kind (kind* constants)
+//	uint32  big-endian sender rank
+//	uint64  big-endian tag (int64 bit pattern; MPI tags may be negative)
+//	...     payload, length-13 bytes
+//
+// The decoder validates the length against a hard cap before any
+// allocation, so a truncated, oversized or garbage prefix can never
+// panic the process or balloon its memory — the fuzz test in
+// frame_fuzz_test.go holds it to that.
+package mpinet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame kinds. Data carries user and collective payloads; the rest is
+// protocol traffic (rendezvous, barriers, shutdown).
+const (
+	kindData         byte = iota + 1 // point-to-point message, tag meaningful
+	kindBarrierEnter                 // worker → root, tag = barrier generation
+	kindBarrierGo                    // root → worker, tag = barrier generation
+	kindAbort                        // any → all: the world has failed
+	kindFin                          // clean per-rank shutdown notice
+	kindRegister                     // worker → root: rank, world size, data address
+	kindTable                        // root → worker: the worker address table
+	kindHello                        // mesh link identification
+	kindReady                        // worker → root: mesh links established
+	kindStart                        // root → worker: the world is complete
+	kindMax                          // first invalid kind
+)
+
+// frameHeaderLen is the fixed part after the length prefix.
+const frameHeaderLen = 1 + 4 + 8
+
+// DefaultMaxFrame bounds one frame's encoded size. The converters and
+// analyses exchange partition offsets, reduction scalars and gathered
+// histograms — kilobytes to low megabytes — so 64 MiB is generous
+// headroom while still refusing a corrupt length prefix before the
+// decoder allocates anything.
+const DefaultMaxFrame = 64 << 20
+
+// frame is one decoded wire frame.
+type frame struct {
+	kind byte
+	from int
+	tag  int
+	body []byte
+}
+
+// appendFrame encodes a frame onto dst and returns the extended slice.
+func appendFrame(dst []byte, kind byte, from, tag int, body []byte) []byte {
+	n := frameHeaderLen + len(body)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, kind)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(from))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(tag)))
+	return append(dst, body...)
+}
+
+// readFrame decodes the next frame from r, refusing lengths outside
+// (frameHeaderLen-1, max] before allocating the body. io.EOF is
+// returned verbatim only at a clean frame boundary; a partial frame is
+// io.ErrUnexpectedEOF.
+func readFrame(r io.Reader, max uint32) (frame, error) {
+	var pre [4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return frame{}, fmt.Errorf("mpinet: truncated frame prefix: %w", err)
+		}
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(pre[:])
+	if n < frameHeaderLen {
+		return frame{}, fmt.Errorf("mpinet: frame length %d below header size %d", n, frameHeaderLen)
+	}
+	if max > 0 && n > max {
+		return frame{}, fmt.Errorf("mpinet: frame length %d exceeds limit %d", n, max)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return frame{}, fmt.Errorf("mpinet: truncated frame body: %w", err)
+	}
+	f := frame{
+		kind: buf[0],
+		from: int(binary.BigEndian.Uint32(buf[1:5])),
+		tag:  int(int64(binary.BigEndian.Uint64(buf[5:13]))),
+		body: buf[frameHeaderLen:],
+	}
+	if f.kind == 0 || f.kind >= kindMax {
+		return frame{}, fmt.Errorf("mpinet: unknown frame kind %d", f.kind)
+	}
+	return f, nil
+}
+
+// The register body is the claimed world size plus the worker's data
+// listener address; the table body is a count-prefixed list of such
+// addresses for ranks 1..world-1.
+
+func encodeRegister(world int, addr string) []byte {
+	b := binary.BigEndian.AppendUint32(nil, uint32(world))
+	return append(b, addr...)
+}
+
+func decodeRegister(body []byte) (world int, addr string, err error) {
+	if len(body) < 4 {
+		return 0, "", fmt.Errorf("mpinet: register body %d bytes", len(body))
+	}
+	return int(binary.BigEndian.Uint32(body)), string(body[4:]), nil
+}
+
+func encodeTable(addrs []string) []byte {
+	b := binary.BigEndian.AppendUint32(nil, uint32(len(addrs)))
+	for _, a := range addrs {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(a)))
+		b = append(b, a...)
+	}
+	return b
+}
+
+func decodeTable(body []byte) ([]string, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("mpinet: table body %d bytes", len(body))
+	}
+	n := int(binary.BigEndian.Uint32(body))
+	body = body[4:]
+	if n > maxWorld {
+		return nil, fmt.Errorf("mpinet: table claims %d addresses", n)
+	}
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(body) < 2 {
+			return nil, fmt.Errorf("mpinet: table truncated at entry %d", i)
+		}
+		l := int(binary.BigEndian.Uint16(body))
+		body = body[2:]
+		if len(body) < l {
+			return nil, fmt.Errorf("mpinet: table truncated at entry %d", i)
+		}
+		addrs = append(addrs, string(body[:l]))
+		body = body[l:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("mpinet: %d trailing table bytes", len(body))
+	}
+	return addrs, nil
+}
+
+// maxWorld bounds the rank count a frame may claim; it exists to keep a
+// corrupt table or register frame from driving allocation, not to cap
+// real deployments (the paper's cluster is 32 nodes).
+const maxWorld = 1 << 16

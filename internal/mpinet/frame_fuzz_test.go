@@ -1,0 +1,57 @@
+package mpinet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode holds the wire decoder to its contract: truncated,
+// oversized or garbage input must produce an error — never a panic and
+// never an allocation beyond the configured cap — and anything it does
+// accept must re-encode to the same bytes.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(appendFrame(nil, kindData, 1, -3, []byte("hello")))
+	f.Add(appendFrame(nil, kindBarrierEnter, 0, 9, nil))
+	f.Add(appendFrame(nil, kindTable, 0, 0, encodeTable([]string{"127.0.0.1:9001", "127.0.0.1:9002"})))
+	f.Add(appendFrame(nil, kindRegister, 2, 0, encodeRegister(4, "10.0.0.1:9000")))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                  // 4 GiB claimed length
+	f.Add([]byte{0x00, 0x00, 0x00, 0x0d, 0x00})            // valid length, truncated body
+	f.Add(appendFrame(nil, kindMax, 0, 0, nil))            // invalid kind
+	f.Add(appendFrame(nil, kindData, 1<<30, 0, []byte{1})) // absurd rank
+	f.Add(append(appendFrame(nil, kindFin, 0, 0, nil), 7)) // trailing garbage
+
+	const cap = 1 << 20
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := readFrame(bytes.NewReader(data), cap)
+		if err != nil {
+			return // any error is acceptable; panics and over-allocation are not
+		}
+		if len(fr.body) > cap {
+			t.Fatalf("decoder returned a %d-byte body past the %d cap", len(fr.body), cap)
+		}
+		if fr.kind == 0 || fr.kind >= kindMax {
+			t.Fatalf("decoder accepted invalid kind %d", fr.kind)
+		}
+		re := appendFrame(nil, fr.kind, fr.from, fr.tag, fr.body)
+		if len(re) > len(data) || !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("accepted frame does not re-encode to its input prefix")
+		}
+		// Decoding the re-encoding must agree (idempotence).
+		fr2, err := readFrame(bytes.NewReader(re), cap)
+		if err != nil {
+			t.Fatalf("re-decoding an accepted frame failed: %v", err)
+		}
+		if fr2.kind != fr.kind || fr2.from != fr.from || fr2.tag != fr.tag || !bytes.Equal(fr2.body, fr.body) {
+			t.Fatal("re-decoded frame differs")
+		}
+		// Table and register bodies must never panic on decode either.
+		switch fr.kind {
+		case kindTable:
+			decodeTable(fr.body)
+		case kindRegister:
+			decodeRegister(fr.body)
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package mpinet
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		kind byte
+		from int
+		tag  int
+		body []byte
+	}{
+		{kindData, 0, 0, nil},
+		{kindData, 3, 42, []byte("payload")},
+		{kindData, 1, -7, bytes.Repeat([]byte{0xab}, 1<<16)}, // negative MPI tag
+		{kindBarrierEnter, 5, 12, nil},
+		{kindRegister, 1, 0, encodeRegister(4, "127.0.0.1:9001")},
+	}
+	for _, c := range cases {
+		wire := appendFrame(nil, c.kind, c.from, c.tag, c.body)
+		f, err := readFrame(bytes.NewReader(wire), DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("readFrame(kind=%d): %v", c.kind, err)
+		}
+		if f.kind != c.kind || f.from != c.from || f.tag != c.tag || !bytes.Equal(f.body, c.body) {
+			t.Fatalf("round trip mismatch: got kind=%d from=%d tag=%d body=%d bytes, want kind=%d from=%d tag=%d body=%d bytes",
+				f.kind, f.from, f.tag, len(f.body), c.kind, c.from, c.tag, len(c.body))
+		}
+	}
+}
+
+func TestFrameStreamsInSequence(t *testing.T) {
+	var wire []byte
+	wire = appendFrame(wire, kindData, 0, 1, []byte("one"))
+	wire = appendFrame(wire, kindData, 0, 2, []byte("two"))
+	r := bytes.NewReader(wire)
+	for i, want := range []string{"one", "two"} {
+		f, err := readFrame(r, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if string(f.body) != want {
+			t.Fatalf("frame %d body = %q, want %q", i, f.body, want)
+		}
+	}
+	if _, err := readFrame(r, DefaultMaxFrame); err != io.EOF {
+		t.Fatalf("expected clean EOF at stream end, got %v", err)
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	good := appendFrame(nil, kindData, 1, 7, []byte("hello"))
+	cases := []struct {
+		name string
+		wire []byte
+		max  uint32
+	}{
+		{"empty prefix", []byte{0x00, 0x00}, DefaultMaxFrame},
+		{"truncated body", good[:len(good)-2], DefaultMaxFrame},
+		{"length below header", []byte{0, 0, 0, 4, 1, 0, 0, 0}, DefaultMaxFrame},
+		{"length over cap", []byte{0xff, 0xff, 0xff, 0xff, 1}, DefaultMaxFrame},
+		{"unknown kind", appendFrame(nil, kindMax, 0, 0, nil), DefaultMaxFrame},
+		{"zero kind", appendFrame(nil, 0, 0, 0, nil), DefaultMaxFrame},
+		{"over custom cap", good, 8},
+	}
+	for _, c := range cases {
+		if _, err := readFrame(bytes.NewReader(c.wire), c.max); err == nil || err == io.EOF {
+			t.Errorf("%s: expected a decode error, got %v", c.name, err)
+		}
+	}
+}
+
+func TestRegisterRoundTrip(t *testing.T) {
+	body := encodeRegister(8, "10.0.0.3:7001")
+	world, addr, err := decodeRegister(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if world != 8 || addr != "10.0.0.3:7001" {
+		t.Fatalf("got world=%d addr=%q", world, addr)
+	}
+	if _, _, err := decodeRegister([]byte{1, 2}); err == nil {
+		t.Fatal("short register body must error")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	addrs := []string{"a:1", "bb:22", "ccc:333"}
+	got, err := decodeTable(encodeTable(addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(addrs) {
+		t.Fatalf("decoded %d addrs, want %d", len(got), len(addrs))
+	}
+	for i := range addrs {
+		if got[i] != addrs[i] {
+			t.Fatalf("addr %d = %q, want %q", i, got[i], addrs[i])
+		}
+	}
+}
+
+func TestTableDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"short", []byte{0, 0}},
+		{"truncated entry len", append(encodeTable(nil), 0)},
+		{"truncated entry", func() []byte {
+			b := encodeTable([]string{"abcdef"})
+			return b[:len(b)-3]
+		}()},
+		{"trailing bytes", append(encodeTable([]string{"x:1"}), 0xff)},
+		{"absurd count", []byte{0xff, 0xff, 0xff, 0xff}},
+	}
+	for _, c := range cases {
+		if _, err := decodeTable(c.body); err == nil {
+			t.Errorf("%s: expected a decode error", c.name)
+		}
+	}
+	// A count just over an empty body must not drive allocation: the
+	// entry loop fails at the first missing length.
+	if _, err := decodeTable(encodeTable(nil)[:4]); err != nil {
+		t.Fatalf("empty table: %v", err)
+	}
+}
+
+func TestKindNameCoversProtocol(t *testing.T) {
+	for k := byte(1); k < kindMax; k++ {
+		if name := kindName(k); strings.HasPrefix(name, "kind") {
+			t.Errorf("kind %d has no symbolic name", k)
+		}
+	}
+}

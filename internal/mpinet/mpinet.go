@@ -1,0 +1,555 @@
+// Package mpinet is the distributed rank transport: an implementation
+// of mpi.Transport over TCP, so the converter and analysis rank code
+// written against mpi.Comm runs unmodified with one OS process per rank
+// — across cores, NUMA domains or hosts, the paper's 32-node cluster
+// deployment. A world is formed by rendezvous (rank 0 listens on the
+// coordinator address, workers dial in and register, then establish a
+// full mesh of data links; rendezvous.go), and every Comm primitive —
+// Send/Recv with per-peer tag multiplexing, Barrier, the collectives
+// built on them — then moves over length-prefixed binary frames
+// (frame.go).
+//
+// Robustness is part of the subsystem: dials retry with capped
+// exponential backoff, every frame write carries a deadline, blocked
+// Recv/Barrier waits are bounded, and a failing rank — whether it
+// returns an error, panics, or is killed outright — aborts the whole
+// world, so surviving ranks drain with mpi.ErrAborted exactly as
+// in-process ranks do (a graceful failure broadcasts an abort frame; a
+// killed process is detected by its closing sockets). Telemetry lands
+// in the process obs registry under mpinet.* (bytes and frames on the
+// wire, send/receive latency, dial retries, aborts) alongside the
+// mpi.rank*.wait counters the Comm layer already records.
+package mpinet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parseq/internal/mpi"
+	"parseq/internal/obs"
+)
+
+// Config describes one process's place in a TCP world.
+type Config struct {
+	// Rank is this process's rank in [0, World).
+	Rank int
+	// World is the total number of ranks (= processes).
+	World int
+	// Coord is the rendezvous address: rank 0 listens on it, every
+	// other rank dials it. Pass the same host:port to all processes.
+	Coord string
+	// Listen is the bind address for a worker's mesh listener; the
+	// default ":0" picks an ephemeral port. The advertised host falls
+	// back to the address the coordinator link uses when the bind host
+	// is unspecified, so the default works across hosts.
+	Listen string
+	// DialTimeout bounds one link's dial attempts, retries and capped
+	// exponential backoff included (default 30s).
+	DialTimeout time.Duration
+	// JoinTimeout bounds each rendezvous step: registration,
+	// address-table delivery, mesh establishment (default 60s).
+	JoinTimeout time.Duration
+	// IOTimeout is the per-frame write deadline (default 60s).
+	IOTimeout time.Duration
+	// WaitTimeout bounds the time Recv and Barrier block for a message
+	// that never comes; on expiry the world aborts rather than hang
+	// (default 10m, negative disables).
+	WaitTimeout time.Duration
+	// MaxFrame caps one frame's encoded size; oversized or corrupt
+	// length prefixes are refused before allocation (default
+	// DefaultMaxFrame).
+	MaxFrame uint32
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.World < 1 {
+		return c, fmt.Errorf("mpinet: invalid world size %d", c.World)
+	}
+	if c.Rank < 0 || c.Rank >= c.World {
+		return c, fmt.Errorf("mpinet: rank %d outside world of %d", c.Rank, c.World)
+	}
+	if c.World > maxWorld {
+		return c, fmt.Errorf("mpinet: world size %d exceeds %d", c.World, maxWorld)
+	}
+	if c.Coord == "" && c.World > 1 {
+		return c, fmt.Errorf("mpinet: coordinator address required")
+	}
+	if c.Listen == "" {
+		c.Listen = ":0"
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 30 * time.Second
+	}
+	if c.JoinTimeout == 0 {
+		c.JoinTimeout = 60 * time.Second
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 60 * time.Second
+	}
+	if c.WaitTimeout == 0 {
+		c.WaitTimeout = 10 * time.Minute
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	return c, nil
+}
+
+// netObs is the subsystem's telemetry, memoised in the process registry.
+type netObs struct {
+	bytesOut, bytesIn   *obs.Counter
+	framesOut, framesIn *obs.Counter
+	dialRetries         *obs.Counter
+	aborts              *obs.Counter
+	sendNS, recvWaitNS  *obs.Histogram
+}
+
+func newNetObs(reg *obs.Registry) *netObs {
+	return &netObs{
+		bytesOut:    reg.Counter("mpinet.bytes_out"),
+		bytesIn:     reg.Counter("mpinet.bytes_in"),
+		framesOut:   reg.Counter("mpinet.frames_out"),
+		framesIn:    reg.Counter("mpinet.frames_in"),
+		dialRetries: reg.Counter("mpinet.dial_retries"),
+		aborts:      reg.Counter("mpinet.aborts"),
+		sendNS:      reg.Histogram("mpinet.send_ns"),
+		recvWaitNS:  reg.Histogram("mpinet.recv_wait_ns"),
+	}
+}
+
+// peer is one established link to another rank.
+type peer struct {
+	rank  int
+	conn  net.Conn
+	wmu   sync.Mutex
+	wbuf  []byte // frame encode buffer, guarded by wmu
+	inbox chan frame
+	fin   atomic.Bool // peer announced clean shutdown
+}
+
+// inboxDepth matches the in-process transport's per-pair channel buffer,
+// so sender/receiver pacing decouples identically on both transports.
+const inboxDepth = 64
+
+// World is one process's rank in a TCP-connected world. It implements
+// mpi.Transport; wrap it with mpi.NewComm or run rank code through
+// mpi.RunTransport / Launcher.
+type World struct {
+	cfg   Config
+	rank  int
+	size  int
+	peers []*peer    // by rank; peers[rank] == nil
+	self  chan frame // rank-local loopback messages
+
+	abortOnce sync.Once
+	abortCh   chan struct{}
+	abortErr  atomic.Value // error
+
+	closing   atomic.Bool
+	closeOnce sync.Once
+
+	barGen   int        // local barrier generation; Barrier is not reentrant
+	barEnter chan frame // root: workers' barrier arrivals
+	barGo    chan frame // workers: root's releases
+
+	o *netObs // nil when telemetry is disabled
+}
+
+func newWorld(cfg Config, conns []net.Conn) *World {
+	w := &World{
+		cfg:      cfg,
+		rank:     cfg.Rank,
+		size:     cfg.World,
+		peers:    make([]*peer, cfg.World),
+		self:     make(chan frame, inboxDepth),
+		abortCh:  make(chan struct{}),
+		barEnter: make(chan frame, cfg.World),
+		barGo:    make(chan frame, 1),
+	}
+	if reg := obs.Default(); reg != nil {
+		w.o = newNetObs(reg)
+	}
+	// Fill the whole peer table before the first readLoop starts: an
+	// abort raised by an early peer walks w.peers concurrently.
+	for r, conn := range conns {
+		if conn != nil {
+			w.peers[r] = &peer{rank: r, conn: conn, inbox: make(chan frame, inboxDepth)}
+		}
+	}
+	for _, p := range w.peers {
+		if p != nil {
+			go w.readLoop(p)
+		}
+	}
+	return w
+}
+
+// Rank returns this process's rank.
+func (w *World) Rank() int { return w.rank }
+
+// Size returns the world size.
+func (w *World) Size() int { return w.size }
+
+// Err returns the error that aborted the world, or nil.
+func (w *World) Err() error {
+	if e, ok := w.abortErr.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// Launcher adapts the world to the mpi.Launcher shape library code
+// accepts: it validates the requested size against the world and runs
+// fn as the local rank only — the other ranks' processes run the same
+// program and launch the same worlds in the same order.
+func (w *World) Launcher() mpi.Launcher {
+	return func(size int, fn func(*mpi.Comm) error) error {
+		if size != w.size {
+			return fmt.Errorf("mpinet: launcher asked for %d ranks but the world has %d", size, w.size)
+		}
+		if err := mpi.RunTransport(w, fn); err != nil {
+			return err
+		}
+		// The local rank finished cleanly, but the world may have aborted
+		// under it (a peer died after our last collective — the SAM
+		// converter, say, never communicates again after partitioning).
+		// A survivor must not report success for a failed world.
+		return w.Err()
+	}
+}
+
+func (w *World) isAborted() bool {
+	select {
+	case <-w.abortCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// abortWith fails the world once: record the reason, release every
+// blocked call, and (for a locally detected failure) tell the peers.
+// Remote abort frames arrive with broadcast=false — the failing rank
+// reaches everyone itself over the full mesh, and a killed process's
+// closing sockets do the same, so relaying would only echo.
+func (w *World) abortWith(err error, broadcast bool) {
+	w.abortOnce.Do(func() {
+		w.abortErr.Store(err)
+		close(w.abortCh)
+		if w.o != nil {
+			w.o.aborts.Add(1)
+		}
+		if !broadcast {
+			return
+		}
+		for _, p := range w.peers {
+			if p == nil {
+				continue
+			}
+			go func(p *peer) {
+				p.wmu.Lock()
+				defer p.wmu.Unlock()
+				p.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				buf := appendFrame(nil, kindAbort, w.rank, 0, nil)
+				p.conn.Write(buf) // best effort; EOF reaches them regardless
+			}(p)
+		}
+	})
+}
+
+// Abort implements mpi.Transport: fail the world from this rank.
+func (w *World) Abort() { w.abortWith(mpi.ErrAborted, true) }
+
+// writePeer encodes and writes one frame under the peer's write lock
+// with the configured deadline.
+func (w *World) writePeer(p *peer, kind byte, tag int, body []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	p.wbuf = appendFrame(p.wbuf[:0], kind, w.rank, tag, body)
+	if w.cfg.IOTimeout > 0 {
+		p.conn.SetWriteDeadline(time.Now().Add(w.cfg.IOTimeout))
+	}
+	_, err := p.conn.Write(p.wbuf)
+	if err == nil && w.o != nil {
+		w.o.framesOut.Add(1)
+		w.o.bytesOut.Add(int64(len(p.wbuf)))
+	}
+	return err
+}
+
+// waitChan arms the blocked-call deadline; a nil channel never fires.
+func (w *World) waitChan() (<-chan time.Time, *time.Timer) {
+	if w.cfg.WaitTimeout <= 0 {
+		return nil, nil
+	}
+	t := time.NewTimer(w.cfg.WaitTimeout)
+	return t.C, t
+}
+
+// Send implements mpi.Transport. The data is not retained: it is
+// encoded and written before returning (or copied, for self-sends).
+func (w *World) Send(to, tag int, data []byte) error {
+	if w.isAborted() {
+		return mpi.ErrAborted
+	}
+	if to == w.rank {
+		f := frame{kind: kindData, from: w.rank, tag: tag, body: append([]byte(nil), data...)}
+		timeout, timer := w.waitChan()
+		if timer != nil {
+			defer timer.Stop()
+		}
+		select {
+		case w.self <- f:
+			return nil
+		case <-w.abortCh:
+			return mpi.ErrAborted
+		case <-timeout:
+			err := fmt.Errorf("mpinet: self-send on rank %d timed out after %v", w.rank, w.cfg.WaitTimeout)
+			w.abortWith(err, true)
+			return err
+		}
+	}
+	p := w.peers[to]
+	if p == nil {
+		return fmt.Errorf("mpinet: no link to rank %d", to)
+	}
+	start := time.Now()
+	if err := w.writePeer(p, kindData, tag, data); err != nil {
+		if w.isAborted() {
+			return mpi.ErrAborted
+		}
+		err = fmt.Errorf("mpinet: sending to rank %d: %w", to, err)
+		w.abortWith(err, true)
+		return err
+	}
+	if w.o != nil {
+		w.o.sendNS.Observe(time.Since(start).Nanoseconds())
+	}
+	return nil
+}
+
+// Recv implements mpi.Transport: the next message from `from`, in send
+// order, with its tag.
+func (w *World) Recv(from int) (int, []byte, error) {
+	if w.isAborted() {
+		return 0, nil, mpi.ErrAborted
+	}
+	src := w.self
+	if from != w.rank {
+		p := w.peers[from]
+		if p == nil {
+			return 0, nil, fmt.Errorf("mpinet: no link to rank %d", from)
+		}
+		src = p.inbox
+	}
+	start := time.Now()
+	timeout, timer := w.waitChan()
+	if timer != nil {
+		defer timer.Stop()
+	}
+	select {
+	case f := <-src:
+		if w.o != nil {
+			w.o.recvWaitNS.Observe(time.Since(start).Nanoseconds())
+		}
+		return f.tag, f.body, nil
+	case <-w.abortCh:
+		return 0, nil, mpi.ErrAborted
+	case <-timeout:
+		err := fmt.Errorf("mpinet: Recv from rank %d timed out after %v", from, w.cfg.WaitTimeout)
+		w.abortWith(err, true)
+		return 0, nil, err
+	}
+}
+
+// Barrier implements mpi.Transport: workers report to rank 0, which
+// releases everyone once all have arrived. Frames carry the barrier
+// generation, so a protocol slip surfaces as an abort instead of a
+// silently mismatched rendezvous.
+func (w *World) Barrier() error {
+	gen := w.barGen
+	w.barGen++
+	if w.isAborted() {
+		return mpi.ErrAborted
+	}
+	if w.size == 1 {
+		return nil
+	}
+	timeout, timer := w.waitChan()
+	if timer != nil {
+		defer timer.Stop()
+	}
+	if w.rank == 0 {
+		for got := 0; got < w.size-1; got++ {
+			select {
+			case f := <-w.barEnter:
+				if f.tag != gen {
+					err := fmt.Errorf("mpinet: barrier generation skew: rank %d sent %d, expected %d", f.from, f.tag, gen)
+					w.abortWith(err, true)
+					return err
+				}
+			case <-w.abortCh:
+				return mpi.ErrAborted
+			case <-timeout:
+				err := fmt.Errorf("mpinet: barrier %d timed out after %v with %d/%d ranks", gen, w.cfg.WaitTimeout, got+1, w.size)
+				w.abortWith(err, true)
+				return err
+			}
+		}
+		for r := 1; r < w.size; r++ {
+			if err := w.writePeer(w.peers[r], kindBarrierGo, gen, nil); err != nil {
+				if w.isAborted() {
+					return mpi.ErrAborted
+				}
+				err = fmt.Errorf("mpinet: releasing barrier %d to rank %d: %w", gen, r, err)
+				w.abortWith(err, true)
+				return err
+			}
+		}
+		return nil
+	}
+	if err := w.writePeer(w.peers[0], kindBarrierEnter, gen, nil); err != nil {
+		if w.isAborted() {
+			return mpi.ErrAborted
+		}
+		err = fmt.Errorf("mpinet: entering barrier %d: %w", gen, err)
+		w.abortWith(err, true)
+		return err
+	}
+	select {
+	case f := <-w.barGo:
+		if f.tag != gen {
+			err := fmt.Errorf("mpinet: barrier generation skew: released %d, expected %d", f.tag, gen)
+			w.abortWith(err, true)
+			return err
+		}
+		return nil
+	case <-w.abortCh:
+		return mpi.ErrAborted
+	case <-timeout:
+		err := fmt.Errorf("mpinet: barrier %d timed out after %v", gen, w.cfg.WaitTimeout)
+		w.abortWith(err, true)
+		return err
+	}
+}
+
+// readLoop demultiplexes one link: data frames to the peer's inbox,
+// barrier traffic to the barrier channels, aborts to the world. A read
+// failure outside clean shutdown means the peer died — kill -9, OOM, a
+// cut cable — and aborts the world, which is how a killed worker's
+// siblings learn to drain.
+func (w *World) readLoop(p *peer) {
+	br := bufio.NewReaderSize(p.conn, 64<<10)
+	for {
+		f, err := readFrame(br, w.cfg.MaxFrame)
+		if err != nil {
+			if w.closing.Load() || p.fin.Load() || w.isAborted() {
+				return
+			}
+			w.abortWith(fmt.Errorf("mpinet: link to rank %d lost: %w", p.rank, err), true)
+			return
+		}
+		if w.o != nil {
+			w.o.framesIn.Add(1)
+			w.o.bytesIn.Add(int64(4 + frameHeaderLen + len(f.body)))
+		}
+		if f.from != p.rank {
+			w.abortWith(fmt.Errorf("mpinet: rank %d link carried a frame claiming rank %d", p.rank, f.from), true)
+			return
+		}
+		switch f.kind {
+		case kindData:
+			select {
+			case p.inbox <- f:
+			case <-w.abortCh:
+				return
+			}
+		case kindBarrierEnter:
+			if w.rank != 0 {
+				w.abortWith(fmt.Errorf("mpinet: barrier enter from rank %d reached non-root rank %d", f.from, w.rank), true)
+				return
+			}
+			select {
+			case w.barEnter <- f:
+			case <-w.abortCh:
+				return
+			}
+		case kindBarrierGo:
+			if w.rank == 0 || p.rank != 0 {
+				w.abortWith(fmt.Errorf("mpinet: stray barrier release from rank %d on rank %d", f.from, w.rank), true)
+				return
+			}
+			select {
+			case w.barGo <- f:
+			case <-w.abortCh:
+				return
+			}
+		case kindAbort:
+			w.abortWith(mpi.ErrAborted, false)
+			return
+		case kindFin:
+			p.fin.Store(true) // the next read error on this link is a clean goodbye
+		default:
+			w.abortWith(fmt.Errorf("mpinet: unexpected %s frame from rank %d", kindName(f.kind), p.rank), true)
+			return
+		}
+	}
+}
+
+// Close tears the world down. On a clean run it announces the shutdown
+// with fin frames first, so peers still working do not mistake the
+// closing sockets for a death; after an abort it just closes.
+func (w *World) Close() error {
+	w.closeOnce.Do(func() {
+		w.closing.Store(true)
+		if !w.isAborted() {
+			for _, p := range w.peers {
+				if p == nil {
+					continue
+				}
+				w.writePeer(p, kindFin, 0, nil) // best effort
+			}
+		}
+		for _, p := range w.peers {
+			if p == nil {
+				continue
+			}
+			p.conn.Close()
+		}
+	})
+	return nil
+}
+
+// kindName renders a frame kind for diagnostics.
+func kindName(k byte) string {
+	switch k {
+	case kindData:
+		return "data"
+	case kindBarrierEnter:
+		return "barrier-enter"
+	case kindBarrierGo:
+		return "barrier-go"
+	case kindAbort:
+		return "abort"
+	case kindFin:
+		return "fin"
+	case kindRegister:
+		return "register"
+	case kindTable:
+		return "table"
+	case kindHello:
+		return "hello"
+	case kindReady:
+		return "ready"
+	case kindStart:
+		return "start"
+	}
+	return fmt.Sprintf("kind%d", k)
+}
+
+// interface conformance
+var _ mpi.Transport = (*World)(nil)

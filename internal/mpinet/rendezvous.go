@@ -1,0 +1,295 @@
+// World formation. Rank 0 listens on the coordinator address; every
+// worker dials it (with retry and capped exponential backoff — workers
+// may start before the root), registers its rank and the address of its
+// own mesh listener, and receives the full worker address table back.
+// The mesh is then built deterministically: rank r dials every worker
+// rank below it and identifies itself with a hello frame, and accepts
+// one connection from every worker rank above it. Dial direction is
+// acyclic, so the sequential dial-then-accept order cannot deadlock.
+// The registration link doubles as the rank0↔worker data link. A final
+// ready/start exchange with the root guarantees no rank begins sending
+// until every link in the world exists.
+package mpinet
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"parseq/internal/obs"
+)
+
+// Connect performs the rendezvous and returns this process's World.
+// All processes must pass configs agreeing on World and Coord, with
+// distinct Ranks covering [0, World).
+func Connect(cfg Config) (*World, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.World == 1 {
+		return newWorld(cfg, nil), nil
+	}
+	if cfg.Rank == 0 {
+		return connectRoot(cfg)
+	}
+	return connectWorker(cfg)
+}
+
+// connectRoot accepts every worker's registration, distributes the
+// address table, and releases the world once all mesh links stand.
+func connectRoot(cfg Config) (*World, error) {
+	ln, err := net.Listen("tcp", cfg.Coord)
+	if err != nil {
+		return nil, fmt.Errorf("mpinet: coordinator listen on %s: %w", cfg.Coord, err)
+	}
+	defer ln.Close()
+
+	conns := make([]net.Conn, cfg.World)
+	addrs := make([]string, cfg.World)
+	fail := func(err error) (*World, error) {
+		closeConns(conns)
+		return nil, err
+	}
+	deadline := time.Now().Add(cfg.JoinTimeout)
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	for registered := 0; registered < cfg.World-1; registered++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("mpinet: rendezvous accept (%d/%d workers registered): %w",
+				registered, cfg.World-1, err))
+		}
+		conn.SetReadDeadline(deadline)
+		f, err := readFrame(conn, cfg.MaxFrame)
+		if err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("mpinet: reading registration: %w", err))
+		}
+		if f.kind != kindRegister {
+			conn.Close()
+			return fail(fmt.Errorf("mpinet: expected register frame, got %s", kindName(f.kind)))
+		}
+		world, addr, err := decodeRegister(f.body)
+		if err != nil {
+			conn.Close()
+			return fail(err)
+		}
+		switch {
+		case f.from < 1 || f.from >= cfg.World:
+			conn.Close()
+			return fail(fmt.Errorf("mpinet: registration from invalid rank %d", f.from))
+		case conns[f.from] != nil:
+			conn.Close()
+			return fail(fmt.Errorf("mpinet: rank %d registered twice", f.from))
+		case world != cfg.World:
+			conn.Close()
+			return fail(fmt.Errorf("mpinet: rank %d expects a world of %d, coordinator has %d",
+				f.from, world, cfg.World))
+		}
+		conns[f.from] = conn
+		addrs[f.from] = addr
+	}
+	table := encodeTable(addrs[1:])
+	for r := 1; r < cfg.World; r++ {
+		if err := writeRendezvous(conns[r], cfg, kindTable, table); err != nil {
+			return fail(fmt.Errorf("mpinet: sending address table to rank %d: %w", r, err))
+		}
+	}
+	// Every worker reports ready only after its mesh links exist; the
+	// start frames then open the world everywhere at once.
+	for r := 1; r < cfg.World; r++ {
+		f, err := readFrame(conns[r], cfg.MaxFrame)
+		if err != nil {
+			return fail(fmt.Errorf("mpinet: waiting for rank %d ready: %w", r, err))
+		}
+		if f.kind != kindReady || f.from != r {
+			return fail(fmt.Errorf("mpinet: expected ready from rank %d, got %s from rank %d",
+				r, kindName(f.kind), f.from))
+		}
+	}
+	for r := 1; r < cfg.World; r++ {
+		if err := writeRendezvous(conns[r], cfg, kindStart, nil); err != nil {
+			return fail(fmt.Errorf("mpinet: starting rank %d: %w", r, err))
+		}
+	}
+	clearDeadlines(conns)
+	return newWorld(cfg, conns), nil
+}
+
+// connectWorker registers with the root, learns the worker table, and
+// builds its half of the mesh: dial below, accept from above.
+func connectWorker(cfg Config) (*World, error) {
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("mpinet: mesh listen on %s: %w", cfg.Listen, err)
+	}
+	defer ln.Close()
+
+	conns := make([]net.Conn, cfg.World)
+	fail := func(err error) (*World, error) {
+		closeConns(conns)
+		return nil, err
+	}
+	root, err := dialRetry(cfg.Coord, cfg.DialTimeout)
+	if err != nil {
+		return fail(fmt.Errorf("mpinet: dialing coordinator %s: %w", cfg.Coord, err))
+	}
+	conns[0] = root
+	reg := encodeRegister(cfg.World, advertiseAddr(ln, root))
+	if err := writeRendezvous(root, cfg, kindRegister, reg); err != nil {
+		return fail(fmt.Errorf("mpinet: registering with coordinator: %w", err))
+	}
+	deadline := time.Now().Add(cfg.JoinTimeout)
+	root.SetReadDeadline(deadline)
+	f, err := readFrame(root, cfg.MaxFrame)
+	if err != nil {
+		return fail(fmt.Errorf("mpinet: reading address table: %w", err))
+	}
+	if f.kind != kindTable || f.from != 0 {
+		return fail(fmt.Errorf("mpinet: expected address table, got %s from rank %d", kindName(f.kind), f.from))
+	}
+	workers, err := decodeTable(f.body)
+	if err != nil {
+		return fail(err)
+	}
+	if len(workers) != cfg.World-1 {
+		return fail(fmt.Errorf("mpinet: address table has %d workers, world needs %d", len(workers), cfg.World-1))
+	}
+	// Dial every worker rank below us and say who we are.
+	for s := 1; s < cfg.Rank; s++ {
+		c, err := dialRetry(workers[s-1], cfg.DialTimeout)
+		if err != nil {
+			return fail(fmt.Errorf("mpinet: dialing rank %d at %s: %w", s, workers[s-1], err))
+		}
+		conns[s] = c
+		if err := writeRendezvous(c, cfg, kindHello, nil); err != nil {
+			return fail(fmt.Errorf("mpinet: greeting rank %d: %w", s, err))
+		}
+	}
+	// Accept one connection from every worker rank above us.
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	for need := cfg.World - 1 - cfg.Rank; need > 0; need-- {
+		c, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("mpinet: rank %d mesh accept: %w", cfg.Rank, err))
+		}
+		c.SetReadDeadline(deadline)
+		f, err := readFrame(c, cfg.MaxFrame)
+		if err != nil {
+			c.Close()
+			return fail(fmt.Errorf("mpinet: reading mesh hello: %w", err))
+		}
+		switch {
+		case f.kind != kindHello:
+			c.Close()
+			return fail(fmt.Errorf("mpinet: expected hello frame, got %s", kindName(f.kind)))
+		case f.from <= cfg.Rank || f.from >= cfg.World:
+			c.Close()
+			return fail(fmt.Errorf("mpinet: hello from unexpected rank %d on rank %d", f.from, cfg.Rank))
+		case conns[f.from] != nil:
+			c.Close()
+			return fail(fmt.Errorf("mpinet: rank %d connected twice", f.from))
+		}
+		conns[f.from] = c
+	}
+	if err := writeRendezvous(root, cfg, kindReady, nil); err != nil {
+		return fail(fmt.Errorf("mpinet: reporting ready: %w", err))
+	}
+	f, err = readFrame(root, cfg.MaxFrame)
+	if err != nil {
+		return fail(fmt.Errorf("mpinet: waiting for world start: %w", err))
+	}
+	if f.kind != kindStart || f.from != 0 {
+		return fail(fmt.Errorf("mpinet: expected start frame, got %s from rank %d", kindName(f.kind), f.from))
+	}
+	clearDeadlines(conns)
+	return newWorld(cfg, conns), nil
+}
+
+// writeRendezvous sends one protocol frame with the config's IO deadline.
+// Rendezvous frames carry no tag.
+func writeRendezvous(conn net.Conn, cfg Config, kind byte, body []byte) error {
+	if cfg.IOTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
+	}
+	_, err := conn.Write(appendFrame(nil, kind, cfg.Rank, 0, body))
+	return err
+}
+
+// dialRetry dials with capped exponential backoff until the budget is
+// spent. Worker processes routinely start before the root's listener
+// (or before a lower rank's), so failure to connect is the expected
+// initial state, not an error.
+func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
+	var retries *obs.Counter
+	if reg := obs.Default(); reg != nil {
+		retries = reg.Counter("mpinet.dial_retries")
+	}
+	deadline := time.Now().Add(budget)
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		left := time.Until(deadline)
+		if left <= 0 {
+			return nil, fmt.Errorf("mpinet: dial %s: budget %v exhausted after %d attempts: %w",
+				addr, budget, attempt, lastErr)
+		}
+		conn, err := net.DialTimeout("tcp", addr, left)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true) // barrier and scalar frames are latency-bound
+			}
+			return conn, nil
+		}
+		lastErr = err
+		if retries != nil {
+			retries.Add(1)
+		}
+		sleep := backoff
+		if left < sleep {
+			sleep = left
+		}
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// advertiseAddr is the address other ranks should dial to reach ln.
+// When ln is bound to an unspecified address (the ":0" default), the
+// host is taken from this process's end of the coordinator link — an
+// address known to be routable at least as far as the root.
+func advertiseAddr(ln net.Listener, root net.Conn) string {
+	host, port, err := net.SplitHostPort(ln.Addr().String())
+	if err != nil {
+		return ln.Addr().String()
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		if lh, _, err := net.SplitHostPort(root.LocalAddr().String()); err == nil {
+			host = lh
+		}
+	}
+	return net.JoinHostPort(host, port)
+}
+
+func closeConns(conns []net.Conn) {
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+func clearDeadlines(conns []net.Conn) {
+	for _, c := range conns {
+		if c != nil {
+			c.SetReadDeadline(time.Time{})
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package mpinet_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"parseq/internal/conv"
+	"parseq/internal/mpi"
+	"parseq/internal/mpinet"
+	"parseq/internal/simdata"
+)
+
+// The acceptance tests for the distributed transport run the real
+// thing: the test binary re-execs itself, once per rank, and the rank
+// processes form a loopback TCP world. TestMain routes helper
+// invocations (marked by MPINET_TEST_MODE) into rank duty instead of
+// the test suite.
+
+func TestMain(m *testing.M) {
+	switch os.Getenv("MPINET_TEST_MODE") {
+	case "":
+		os.Exit(m.Run())
+	case "convert":
+		helperConvert()
+	case "abortworld":
+		helperAbortWorld()
+	default:
+		fmt.Fprintln(os.Stderr, "unknown MPINET_TEST_MODE")
+		os.Exit(2)
+	}
+}
+
+func helperConfig() mpinet.Config {
+	rank, _ := strconv.Atoi(os.Getenv("MPINET_TEST_RANK"))
+	world, _ := strconv.Atoi(os.Getenv("MPINET_TEST_WORLD"))
+	return mpinet.Config{
+		Rank:        rank,
+		World:       world,
+		Coord:       os.Getenv("MPINET_TEST_COORD"),
+		DialTimeout: 15 * time.Second,
+		JoinTimeout: 30 * time.Second,
+		WaitTimeout: 30 * time.Second,
+	}
+}
+
+// helperConvert is one rank of a distributed SAM conversion: connect,
+// run the unmodified converter rank code over the TCP world, exit.
+func helperConvert() {
+	w, err := mpinet.Connect(helperConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "connect:", err)
+		os.Exit(1)
+	}
+	_, err = conv.ConvertSAM(os.Getenv("MPINET_TEST_IN"), conv.Options{
+		Format:    "sam",
+		Cores:     w.Size(),
+		OutDir:    os.Getenv("MPINET_TEST_OUT"),
+		OutPrefix: "tcp",
+		Launch:    w.Launcher(),
+	})
+	// os.Exit skips defers: close explicitly so the FIN handshake runs
+	// and slower ranks see a clean goodbye, not a dead link.
+	w.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convert:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// helperAbortWorld is one rank of the killed-worker scenario. Rank 1
+// announces itself and hangs, waiting to be killed from outside; the
+// survivors block in Recv on it and must drain with ErrAborted when
+// its sockets die.
+func helperAbortWorld() {
+	w, err := mpinet.Connect(helperConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "connect:", err)
+		os.Exit(1)
+	}
+	defer w.Close()
+	if w.Rank() == 1 {
+		fmt.Println("victim-ready")
+		os.Stdout.Sync()
+		select {} // killed by the test
+	}
+	err = mpi.RunTransport(w, func(c *mpi.Comm) error {
+		_, err := c.Recv(1, 9) // never sent
+		return err
+	})
+	w.Close()
+	if !errors.Is(err, mpi.ErrAborted) {
+		fmt.Fprintf(os.Stderr, "rank %d error = %v, want ErrAborted\n", w.Rank(), err)
+		os.Exit(1)
+	}
+	fmt.Println("world-aborted")
+	os.Exit(0)
+}
+
+// helperCmd builds one rank process of a helper world.
+func helperCmd(ctx context.Context, t *testing.T, mode string, rank, world int, coord string, extra map[string]string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.CommandContext(ctx, os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		"MPINET_TEST_MODE="+mode,
+		"MPINET_TEST_RANK="+strconv.Itoa(rank),
+		"MPINET_TEST_WORLD="+strconv.Itoa(world),
+		"MPINET_TEST_COORD="+coord,
+	)
+	for k, v := range extra {
+		cmd.Env = append(cmd.Env, k+"="+v)
+	}
+	return cmd
+}
+
+// TestSubprocessConvertByteIdentical is the tentpole acceptance test:
+// a two-process TCP world converting a real SAM dataset must produce
+// per-rank output files byte-identical to the in-process world's for
+// the same input and rank count.
+func TestSubprocessConvertByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	const world = 2
+	dir := t.TempDir()
+
+	ds := simdata.Generate(simdata.DefaultConfig(3000))
+	samPath := filepath.Join(dir, "in.sam")
+	sf, err := os.Create(samPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteSAM(sf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-process reference conversion with the same rank count.
+	if _, err := conv.ConvertSAM(samPath, conv.Options{
+		Format: "sam", Cores: world, OutDir: dir, OutPrefix: "ref",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	coord := freeLoopbackAddr()
+	extra := map[string]string{"MPINET_TEST_IN": samPath, "MPINET_TEST_OUT": dir}
+	cmds := make([]*exec.Cmd, world)
+	outs := make([]bytes.Buffer, world)
+	for r := 0; r < world; r++ {
+		cmds[r] = helperCmd(ctx, t, "convert", r, world, coord, extra)
+		cmds[r].Stdout = &outs[r]
+		cmds[r].Stderr = &outs[r]
+		if err := cmds[r].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < world; r++ {
+		if err := cmds[r].Wait(); err != nil {
+			t.Fatalf("rank %d process: %v\n%s", r, err, outs[r].String())
+		}
+	}
+
+	for r := 0; r < world; r++ {
+		ref, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("ref_p%03d.sam", r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcp, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("tcp_p%03d.sam", r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref, tcp) {
+			t.Fatalf("rank %d output differs between transports: in-process %d bytes, tcp %d bytes",
+				r, len(ref), len(tcp))
+		}
+		if len(ref) == 0 {
+			t.Fatalf("rank %d produced no output", r)
+		}
+	}
+}
+
+// TestSubprocessKilledWorkerAbortsWorld kills one rank process of a
+// three-process world with SIGKILL; the surviving ranks, blocked in
+// Recv on it, must unwind with ErrAborted.
+func TestSubprocessKilledWorkerAbortsWorld(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	const world = 3
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	coord := freeLoopbackAddr()
+
+	cmds := make([]*exec.Cmd, world)
+	outs := make([]bytes.Buffer, world)
+	var victimOut *bufio.Reader
+	for r := 0; r < world; r++ {
+		cmds[r] = helperCmd(ctx, t, "abortworld", r, world, coord, nil)
+		if r == 1 {
+			pipe, err := cmds[r].StdoutPipe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			victimOut = bufio.NewReader(pipe)
+			cmds[r].Stderr = &outs[r]
+		} else {
+			cmds[r].Stdout = &outs[r]
+			cmds[r].Stderr = &outs[r]
+		}
+		if err := cmds[r].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The victim announces itself only after the whole world is
+	// connected (Connect returns post-rendezvous), so the kill lands on
+	// a live, fully-meshed world.
+	line, err := victimOut.ReadString('\n')
+	if err != nil || line != "victim-ready\n" {
+		t.Fatalf("victim announcement: %q, %v", line, err)
+	}
+	if err := cmds[1].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmds[1].Wait() // reap; a kill error is expected
+
+	for _, r := range []int{0, 2} {
+		if err := cmds[r].Wait(); err != nil {
+			t.Fatalf("surviving rank %d: %v\n%s", r, err, outs[r].String())
+		}
+		if out := outs[r].String(); out != "world-aborted\n" {
+			t.Fatalf("surviving rank %d output %q, want world-aborted", r, out)
+		}
+	}
+}

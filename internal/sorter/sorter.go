@@ -39,11 +39,14 @@ type Options struct {
 	// default (bgzf.AutoWorkers); 1 forces the sequential paths.
 	// Orthogonal to Cores, exactly as in the converter runtime.
 	CodecWorkers int
-	// SharedCodec attaches the spilled-run writers to the process-wide
-	// bgzf shared deflate pool (bgzf.SharedPool) instead of giving each
-	// short-lived run its own CodecWorkers goroutines. With many
-	// parallel spill workers this keeps the codec goroutine count at
-	// the pool's throughput-sized level rather than Cores × per-stream.
+	// SharedCodec attaches the spill and merge BGZF writers to the
+	// process-wide bgzf shared deflate pool (bgzf.SharedPool) instead
+	// of giving each short-lived stream its own CodecWorkers
+	// goroutines. With many parallel spill workers this keeps the
+	// codec goroutine count at the pool's throughput-sized level
+	// rather than Cores × per-stream. It defaults on whenever
+	// CodecWorkers is left adaptive, matching the converter's shard
+	// writers; an explicit CodecWorkers keeps private per-stream pools.
 	SharedCodec bool
 }
 
@@ -56,6 +59,7 @@ func (o *Options) normalize() {
 	}
 	if o.CodecWorkers <= 0 {
 		o.CodecWorkers = bgzf.AutoWorkers()
+		o.SharedCodec = true
 	}
 }
 
@@ -234,7 +238,7 @@ func sortToBAM(src recordSource, outPath string, opts Options) (int64, error) {
 	// Phase 2: k-way merge of the sorted runs.
 	merge := ph.Start(0, "sort.merge")
 	sort.Strings(runPaths)
-	if err := mergeRuns(runPaths, header, outPath, opts.CodecWorkers); err != nil {
+	if err := mergeRuns(runPaths, header, outPath, opts.CodecWorkers, opts.SharedCodec); err != nil {
 		return 0, err
 	}
 	merge.End()
@@ -300,12 +304,16 @@ func (h *mergeHeap) Pop() interface{} {
 }
 
 // mergeRuns streams the runs through a heap into the output BAM.
-func mergeRuns(runPaths []string, header *sam.Header, outPath string, codecWorkers int) error {
+func mergeRuns(runPaths []string, header *sam.Header, outPath string, codecWorkers int, shared bool) error {
 	out, err := os.Create(outPath)
 	if err != nil {
 		return err
 	}
-	w, err := bam.NewWriter(out, header, bam.WithCodecWorkers(codecWorkers))
+	wopt := bam.WithCodecWorkers(codecWorkers)
+	if shared {
+		wopt = bam.WithSharedCodec()
+	}
+	w, err := bam.NewWriter(out, header, wopt)
 	if err != nil {
 		out.Close()
 		return err

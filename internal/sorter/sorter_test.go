@@ -242,3 +242,39 @@ func TestSortBAMCodecWorkersIdentical(t *testing.T) {
 		}
 	}
 }
+
+// The adaptive codec default routes spill and merge writers through
+// bgzf.SharedPool; the output must stay byte-identical to the private
+// per-stream pools and the sequential codec.
+func TestSortSharedCodecDefaultIdentical(t *testing.T) {
+	samPath, _, _ := unsortedDataset(t, 700)
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "seq.bam")
+	if _, err := SortSAMToBAM(samPath, ref, Options{ChunkRecords: 100, Cores: 2, CodecWorkers: 1}); err != nil {
+		t.Fatalf("sequential sort: %v", err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CodecWorkers 0 selects the adaptive count and the shared pool for
+	// spills and the merge; an explicit SharedCodec with a fixed budget
+	// must agree too.
+	for _, opts := range []Options{
+		{ChunkRecords: 100, Cores: 2},
+		{ChunkRecords: 100, Cores: 2, CodecWorkers: 3, SharedCodec: true},
+	} {
+		out := filepath.Join(dir, fmt.Sprintf("shared%d.bam", opts.CodecWorkers))
+		if _, err := SortSAMToBAM(samPath, out, opts); err != nil {
+			t.Fatalf("shared sort (workers=%d): %v", opts.CodecWorkers, err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("shared-codec output (workers=%d) differs from sequential (%d vs %d bytes)",
+				opts.CodecWorkers, len(got), len(want))
+		}
+	}
+}

@@ -132,6 +132,13 @@ func PreprocessSAM(samPath, outDir, prefix string, cores int) (*PreprocessResult
 	return conv.PreprocessSAMParallel(samPath, outDir, prefix, cores)
 }
 
+// PreprocessSAMLaunch is PreprocessSAM with an explicit rank launcher —
+// pass a distributed world's launcher (mpiflag / internal/mpinet) to
+// preprocess across processes; nil selects the in-process runtime.
+func PreprocessSAMLaunch(samPath, outDir, prefix string, cores int, launch mpi.Launcher) (*PreprocessResult, error) {
+	return conv.PreprocessSAMParallelLaunch(samPath, outDir, prefix, cores, 0, launch)
+}
+
 // ConvertPreprocessed converts previously generated BAMX shards.
 func ConvertPreprocessed(bamxFiles, baixFiles []string, opts Options) (*Result, error) {
 	return conv.ConvertPreprocessed(bamxFiles, baixFiles, opts)
