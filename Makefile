@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-decode race-convert race-mpinet vet staticcheck fmt-check bench-smoke bench-decode bench-convert metrics-smoke fuzz-frame ci
+.PHONY: all build test race race-decode race-convert race-mpinet race-kern vet staticcheck fmt-check bench-smoke bench-decode bench-convert bench-kern metrics-smoke fuzz-frame fuzz-kern ci
 
 all: build
 
@@ -37,10 +37,25 @@ race-convert:
 race-mpinet:
 	$(GO) test -race -count=1 ./internal/mpi ./internal/mpinet ./internal/mpiflag
 
+# Focused race run over the word-wide kernels and the packages whose
+# hot loops they were wired into (BAM record codec, SAM byte parser,
+# format emitters, flagstat tally, BED coordinate parsing). The kernels
+# are pure functions, but their zero-copy aliasing helpers deserve the
+# race detector's eyes wherever records cross goroutines.
+race-kern:
+	$(GO) test -race -count=1 ./internal/kern ./internal/bam ./internal/sam ./internal/formats ./internal/flagstat ./internal/bed
+
 # A short deterministic fuzz pass over the wire-frame decoder: corrupt
 # frames must error, never panic or over-allocate.
 fuzz-frame:
 	$(GO) test -run '^$$' -fuzz 'FuzzFrameDecode' -fuzztime 10s ./internal/mpinet
+
+# Short fuzz passes over the word-wide kernels: every kernel must agree
+# with its scalar twin on arbitrary inputs, alignments and lengths.
+fuzz-kern:
+	$(GO) test -run '^$$' -fuzz 'FuzzUnpackSeq' -fuzztime 10s ./internal/kern
+	$(GO) test -run '^$$' -fuzz 'FuzzShiftQual' -fuzztime 10s ./internal/kern
+	$(GO) test -run '^$$' -fuzz 'FuzzParseUint' -fuzztime 10s ./internal/kern
 
 vet:
 	$(GO) vet ./...
@@ -68,6 +83,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelBAMScan' -benchtime 1x ./internal/bam
 	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchtime 1x ./internal/obs
 	$(GO) test -run '^$$' -bench 'BenchmarkConvertSAM$$' -benchtime 1x ./internal/conv
+	$(GO) test -run '^$$' -bench 'BenchmarkKernSpeedup' -benchtime 1x ./internal/kern
 
 # Real measurement of the BAM decode worker sweep (sequential baseline
 # vs bam.ParallelScanner at 1/2/4/8 workers), recorded for comparison
@@ -107,11 +123,30 @@ bench-convert:
 	} > BENCH_convert.json; \
 	echo "wrote BENCH_convert.json"
 
+# Real measurement of the word-wide transcoding kernels against their
+# scalar twins. The Speedup benchmark interleaves scalar and kernel
+# batches per iteration and reports per-side minima, so its "speedup"
+# metric holds up on noisy shared hosts; the plain benchmarks record
+# absolute MB/s per kernel.
+bench-kern:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkKern' -benchtime 100x ./internal/kern); \
+	status=$$?; echo "$$out"; [ $$status -eq 0 ] || exit $$status; \
+	{ \
+		echo '{'; \
+		echo '  "benchmark": "BenchmarkKern",'; \
+		echo "  \"cpus\": $$(nproc),"; \
+		echo '  "output": ['; \
+		echo "$$out" | sed 's/\\/\\\\/g; s/"/\\"/g; s/\t/\\t/g; s/^/    "/; s/$$/",/' | sed '$$ s/,$$//'; \
+		echo '  ]'; \
+		echo '}'; \
+	} > BENCH_kern.json; \
+	echo "wrote BENCH_kern.json"
+
 # End-to-end telemetry check: a real conversion run must produce a
 # metrics snapshot with the documented schema (MPI wait, codec
 # pipeline gauges, phase walls) and a non-empty trace.
 metrics-smoke:
 	$(GO) test -run 'TestMetricsSchema' -count=1 ./internal/obsflag
 
-ci: vet staticcheck fmt-check build race race-decode race-convert race-mpinet bench-smoke metrics-smoke
+ci: vet staticcheck fmt-check build race race-decode race-convert race-mpinet race-kern bench-smoke metrics-smoke
 	@echo "ci: all checks passed"

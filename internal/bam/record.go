@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"parseq/internal/kern"
 	"parseq/internal/sam"
 )
 
@@ -21,21 +22,9 @@ var Magic = []byte{'B', 'A', 'M', 1}
 // ErrInvalidRecord reports a malformed binary record.
 var ErrInvalidRecord = errors.New("bam: invalid record")
 
-// seqNibbles maps 4-bit sequence codes to bases per the specification.
-const seqNibbles = "=ACMGRSVTWYHKDBN"
-
-var nibbleOf = func() [256]byte {
-	var t [256]byte
-	for i := range t {
-		t[i] = 15 // N
-	}
-	for i := 0; i < len(seqNibbles); i++ {
-		t[seqNibbles[i]] = byte(i)
-		lower := seqNibbles[i] | 0x20
-		t[lower] = byte(i)
-	}
-	return t
-}()
+// seqNibbles maps 4-bit sequence codes to bases per the specification;
+// the pack/unpack loops themselves run in the word-wide kern layer.
+const seqNibbles = kern.SeqChars
 
 // EncodeRecord appends the binary form of rec (including the leading
 // block_size field) to dst and returns the extended slice. The header is
@@ -84,20 +73,15 @@ func EncodeRecord(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error) {
 	for _, op := range rec.Cigar {
 		dst = appendUint32(dst, uint32(op))
 	}
-	for i := 0; i < seqLen; i += 2 {
-		b := nibbleOf[rec.Seq[i]] << 4
-		if i+1 < seqLen {
-			b |= nibbleOf[rec.Seq[i+1]]
-		}
-		dst = append(dst, b)
-	}
-	if rec.Qual == "*" {
-		for i := 0; i < seqLen; i++ {
-			dst = append(dst, 0xff)
-		}
-	} else {
-		for i := 0; i < seqLen; i++ {
-			dst = append(dst, rec.Qual[i]-33)
+	if seqLen > 0 {
+		var tail []byte
+		dst, tail = kern.Grow(dst, (seqLen+1)/2)
+		kern.PackSeq(tail, kern.StringBytes(rec.Seq))
+		dst, tail = kern.Grow(dst, seqLen)
+		if rec.Qual == "*" {
+			kern.Fill(tail, 0xff)
+		} else {
+			kern.AddConst(tail, kern.StringBytes(rec.Qual)[:seqLen], 256-33)
 		}
 	}
 	var err error
@@ -260,23 +244,15 @@ func DecodeRecord(body []byte, rec *sam.Record, h *sam.Header) error {
 		rec.Qual = "*"
 	} else {
 		seq := make([]byte, seqLen)
-		for i := 0; i < seqLen; i++ {
-			b := body[off+i/2]
-			if i%2 == 0 {
-				b >>= 4
-			}
-			seq[i] = seqNibbles[b&0xf]
-		}
-		rec.Seq = string(seq)
+		kern.UnpackSeq(seq, body[off:], seqLen)
+		rec.Seq = kern.BytesString(seq)
 		off += (seqLen + 1) / 2
 		if body[off] == 0xff {
 			rec.Qual = "*"
 		} else {
 			qual := make([]byte, seqLen)
-			for i := 0; i < seqLen; i++ {
-				qual[i] = body[off+i] + 33
-			}
-			rec.Qual = string(qual)
+			kern.AddConst(qual, body[off:off+seqLen], 33)
+			rec.Qual = kern.BytesString(qual)
 		}
 		off = fixed + nameLen + nCigar*4 + (seqLen+1)/2 + seqLen
 	}

@@ -7,9 +7,11 @@
 // BodyScanner is the zero-decode path (raw bodies, one goroutine), the
 // drop-in upgrade for ReadBody loops such as the BAMX preprocessor's
 // two passes. ParallelScanner additionally fans DecodeRecord out to a
-// parpipe worker pool, one batch per block, delivering fully decoded
+// parpipe worker pool in multi-block batches, delivering fully decoded
 // records strictly in file order — the read-side mirror of the parallel
-// BGZF writer.
+// BGZF writer. On hosts where fan-out cannot pay for its dispatch (one
+// worker or one CPU) it degrades to the BodyScanner path with zero
+// pipeline overhead.
 
 package bam
 
@@ -18,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -170,26 +173,55 @@ func truncatedErr(err error, inSize bool) error {
 	return fmt.Errorf("%w: truncated record body: %v", ErrInvalidRecord, io.ErrUnexpectedEOF)
 }
 
-// decodeBatch is one block's worth of records travelling through the
-// decode pipeline: the inflated block itself, body slices pointing into
-// it (plus at most one stitched head record), and the decoded records.
-// err, when set, positions after the last body — scan errors surface
-// only once every record before them has been delivered.
+// decodeBatch is a run of whole blocks' records travelling through the
+// decode pipeline: the inflated blocks themselves, body slices pointing
+// into them (stitched copies for records spanning block boundaries),
+// and the decoded records. err, when set, positions after the last
+// body — scan errors surface only once every record before them has
+// been delivered.
 type decodeBatch struct {
-	data   []byte   // inflated block, recycled to the codec after use
-	head   []byte   // stitched record spanning into this block, if any
-	bodies [][]byte // raw bodies in file order (head first when present)
+	datas  [][]byte // inflated blocks, recycled to the codec after use
+	bodies [][]byte // raw bodies in file order
 	recs   []sam.Record
 	err    error
 }
 
+// Batch sizing for the decode pipeline. Per-batch costs — channel
+// handoff, pool round trip, the records allocation, parpipe dispatch —
+// are fixed, so batches grow until they hold batchBytes of record
+// payload (typically one to four inflated blocks) before submitting.
+// The target adapts to the worker count: few workers lean large to
+// amortize dispatch, many workers lean small to keep every worker fed.
+const (
+	minBatchBytes   = 64 << 10
+	maxBatchBytes   = 256 << 10
+	batchBytesTotal = 512 << 10
+)
+
+// batchTarget returns the per-batch payload target for a worker count.
+func batchTarget(workers int) int {
+	t := batchBytesTotal / workers
+	if t < minBatchBytes {
+		return minBatchBytes
+	}
+	if t > maxBatchBytes {
+		return maxBatchBytes
+	}
+	return t
+}
+
+// scannerProcs is runtime.GOMAXPROCS, indirected so tests can pin the
+// apparent CPU count when choosing between the sequential bypass and
+// the decode pipeline.
+var scannerProcs = runtime.GOMAXPROCS
+
 // ParallelScanner decodes BAM records on a worker pool while preserving
 // file order. A feeder goroutine pulls inflated blocks through the
-// zero-copy API and splits them into whole-record batches — one batch
-// per block, copying only boundary-spanning records — a parpipe pool
-// fans DecodeRecord out, and Next delivers records in order. The
-// pipeline reports through parpipe's "bam.decode" metrics (queue depth,
-// busy/idle fractions) plus a bam.decode.records counter.
+// zero-copy API and splits them into whole-record batches — batchTarget
+// bytes of payload per batch, copying only boundary-spanning records —
+// a parpipe pool fans DecodeRecord out, and Next delivers records in
+// order. The pipeline reports through parpipe's "bam.decode" metrics
+// (queue depth, busy/idle fractions) plus a bam.decode.records counter.
 //
 // The scanner owns the reader's stream position. Close it before
 // closing the Reader, and do not interleave with the reader's own Read*
@@ -208,16 +240,24 @@ type ParallelScanner struct {
 	idx int
 	err error
 
-	batchPool sync.Pool
-	met       *obs.Counter // bam.decode.records; nil when telemetry is off
+	batchPool  sync.Pool
+	batchBytes int          // per-batch payload target (batchTarget)
+	met        *obs.Counter // bam.decode.records; nil when telemetry is off
 
-	fallback bool // no BlockSource underneath: decode on the caller
+	seq      *BodyScanner // sequential bypass: decode on the caller
+	fallback bool         // no BlockSource underneath: decode on the caller
 }
 
 // NewParallelScanner wraps br, which must be positioned at the first
 // record. workers ≤ 0 selects the adaptive default
 // (bgzf.AutoWorkers). The record order, contents, and error behaviour
 // are identical to a sequential ReadInto loop.
+//
+// When parallelism cannot win — one effective worker, or a single-CPU
+// host where fan-out dispatch only adds overhead (the 57-vs-67 MB/s
+// regression BENCH_decode.json pinned) — the scanner takes a
+// zero-overhead sequential bypass: the zero-copy BodyScanner feeds
+// DecodeRecord on the caller's goroutine, no pipeline, no channels.
 func NewParallelScanner(br *Reader, workers int) *ParallelScanner {
 	s := &ParallelScanner{br: br, header: br.Header()}
 	src, ok := br.bg.(bgzf.BlockSource)
@@ -228,12 +268,17 @@ func NewParallelScanner(br *Reader, workers int) *ParallelScanner {
 	if workers <= 0 {
 		workers = bgzf.AutoWorkers()
 	}
-	s.src = src
-	s.batchPool.New = func() any { return &decodeBatch{} }
 	reg := obs.Default()
 	if reg != nil {
 		s.met = reg.Counter("bam.decode.records")
 	}
+	if workers <= 1 || scannerProcs(0) <= 1 {
+		s.seq = NewBodyScanner(br)
+		return s
+	}
+	s.src = src
+	s.batchBytes = batchTarget(workers)
+	s.batchPool.New = func() any { return &decodeBatch{} }
 	s.stop = &atomic.Bool{}
 	s.pipe = parpipe.NewObserved(workers, 4*workers, s.decode, reg, "bam.decode")
 	go s.feed(s.pipe, s.stop)
@@ -245,23 +290,26 @@ func NewParallelScanner(br *Reader, workers int) *ParallelScanner {
 func (s *ParallelScanner) Header() *sam.Header { return s.header }
 
 // feed splits inflated blocks into record batches. carry accumulates a
-// record spanning block boundaries; when the record completes it
-// becomes the head of the batch of the block it ends in. The loop ends
-// by submitting a final batch whose err is io.EOF, a truncation error,
-// or the codec's error — always positioned after every complete record.
+// record spanning block boundaries; when the record completes, the
+// stitched copy joins the bodies of the batch its block belongs to. A
+// batch accumulates blocks until it holds batchBytes of record payload,
+// amortizing the pipeline's per-batch dispatch over several blocks. The
+// loop ends by submitting a final batch whose err is io.EOF, a
+// truncation error, or the codec's error — always positioned after
+// every complete record.
 func (s *ParallelScanner) feed(pipe *parpipe.Pipe[*decodeBatch], stop *atomic.Bool) {
 	defer pipe.Close()
 	var carry []byte
+	b := s.batch()
+	payload := 0 // record-body bytes accumulated in b
 	for !stop.Load() {
 		data, _, err := s.src.NextBlock()
 		if err != nil {
-			b := s.batch()
 			b.err = feedFinalErr(err, carry)
 			pipe.Submit(b)
 			return
 		}
-		b := s.batch()
-		b.data = data
+		b.datas = append(b.datas, data)
 		pos := 0
 		// Complete a spanning record first.
 		if len(carry) > 0 {
@@ -274,8 +322,7 @@ func (s *ParallelScanner) feed(pipe *parpipe.Pipe[*decodeBatch], stop *atomic.Bo
 				pos = take
 			}
 			if len(carry) < 4 {
-				s.retire(b) // tiny block swallowed whole by the prefix
-				continue
+				continue // tiny block swallowed whole by the prefix
 			}
 			size := int(int32(binary.LittleEndian.Uint32(carry)))
 			if size < minRecordBody {
@@ -290,11 +337,10 @@ func (s *ParallelScanner) feed(pipe *parpipe.Pipe[*decodeBatch], stop *atomic.Bo
 			carry = append(carry, data[pos:pos+take]...)
 			pos += take
 			if len(carry) < 4+size {
-				s.retire(b) // record spans beyond this whole block
-				continue
+				continue // record spans beyond this whole block
 			}
-			b.head = carry
 			b.bodies = append(b.bodies, carry[4:])
+			payload += size
 			carry = nil
 		}
 		// Whole records inside the block, parsed in place.
@@ -313,18 +359,21 @@ func (s *ParallelScanner) feed(pipe *parpipe.Pipe[*decodeBatch], stop *atomic.Bo
 				break
 			}
 			b.bodies = append(b.bodies, data[pos+4:pos+4+size])
+			payload += size
 			pos += 4 + size
 		}
 		// Tail: the start of a record continuing in the next block.
 		if pos < len(data) {
 			carry = append([]byte(nil), data[pos:]...)
 		}
-		if len(b.bodies) == 0 {
-			s.retire(b) // no record ended in this block
-			continue
+		if payload >= s.batchBytes {
+			pipe.Submit(b)
+			b = s.batch()
+			payload = 0
 		}
-		pipe.Submit(b)
 	}
+	// Close requested mid-stream: the partial batch never ships.
+	s.retire(b)
 }
 
 // feedFinalErr maps the codec's end-of-stream against any half-read
@@ -363,15 +412,20 @@ func (s *ParallelScanner) batch() *decodeBatch {
 	return s.batchPool.Get().(*decodeBatch)
 }
 
-// retire recycles a consumed batch: the block buffer flows back to the
+// retire recycles a consumed batch: the block buffers flow back to the
 // codec's inflate pool, the batch struct to the batch pool. The decoded
-// records are NOT pooled — consumers may retain them.
+// records are NOT pooled — consumers may retain them. Body slices are
+// cleared so the pooled batch cannot pin retired blocks or stitched
+// carry buffers.
 func (s *ParallelScanner) retire(b *decodeBatch) {
-	if b.data != nil {
-		s.src.Recycle(b.data)
-		b.data = nil
+	for i, d := range b.datas {
+		if d != nil {
+			s.src.Recycle(d)
+		}
+		b.datas[i] = nil
 	}
-	b.head = nil
+	b.datas = b.datas[:0]
+	clear(b.bodies)
 	b.bodies = b.bodies[:0]
 	b.recs = nil
 	b.err = nil
@@ -390,6 +444,9 @@ func (s *ParallelScanner) Next(rec *sam.Record) (bool, error) {
 			return false, err
 		}
 		return true, nil
+	}
+	if s.seq != nil {
+		return s.nextSeq(rec)
 	}
 	if s.err != nil {
 		if s.err == io.EOF {
@@ -426,6 +483,35 @@ func (s *ParallelScanner) Next(rec *sam.Record) (bool, error) {
 	}
 }
 
+// nextSeq is Next on the sequential bypass: zero-copy bodies from the
+// BodyScanner decoded on the caller's goroutine. No feeder, no channel,
+// no batch round trips — the only cost over a plain ReadInto loop is
+// one nil check, and the zero-copy block parsing makes it faster.
+func (s *ParallelScanner) nextSeq(rec *sam.Record) (bool, error) {
+	if s.err != nil {
+		if s.err == io.EOF {
+			return false, nil
+		}
+		return false, s.err
+	}
+	body, err := s.seq.Next()
+	if err != nil {
+		s.err = err
+		if err == io.EOF {
+			return false, nil
+		}
+		return false, err
+	}
+	if err := DecodeRecord(body, rec, s.header); err != nil {
+		s.err = err
+		return false, err
+	}
+	if s.met != nil {
+		s.met.Add(1)
+	}
+	return true, nil
+}
+
 // ReadInto adapts Next to the Reader-style contract (io.EOF at the
 // end), so the scanner satisfies the same record-source interfaces.
 func (s *ParallelScanner) ReadInto(rec *sam.Record) error {
@@ -451,7 +537,16 @@ func (s *ParallelScanner) Err() error {
 // close the underlying Reader — close the scanner first, then the
 // reader. Safe to call after EOF or mid-stream.
 func (s *ParallelScanner) Close() error {
-	if s.fallback || s.pipe == nil {
+	if s.fallback {
+		return nil
+	}
+	if s.seq != nil {
+		if s.err == nil || s.err == io.EOF {
+			s.err = errors.New("bam: parallel scanner closed")
+		}
+		return nil
+	}
+	if s.pipe == nil {
 		return nil
 	}
 	s.stop.Store(true)

@@ -113,6 +113,48 @@ func openReader(t testing.TB, raw []byte, workers int) *Reader {
 // them), 512 a good fraction, 0 the default where spanning is rare.
 var scannerPayloads = []int{64, 512, 0}
 
+// forcePipeline pins the apparent CPU count to 4 so NewParallelScanner
+// builds the decode pipeline even on a single-CPU host (where the
+// sequential bypass would otherwise swallow every test).
+func forcePipeline(t testing.TB) {
+	old := scannerProcs
+	scannerProcs = func(int) int { return 4 }
+	t.Cleanup(func() { scannerProcs = old })
+}
+
+// forceSingleProc pins the apparent CPU count to 1 so the bypass path
+// is exercised deterministically on any host.
+func forceSingleProc(t testing.TB) {
+	old := scannerProcs
+	scannerProcs = func(int) int { return 1 }
+	t.Cleanup(func() { scannerProcs = old })
+}
+
+// The scanner must pick the sequential bypass exactly when parallelism
+// cannot win: one effective worker, or one CPU.
+func TestParallelScannerBypassSelection(t *testing.T) {
+	h := testHeader()
+	raw := encodeBAM(t, h, genRecords(t, 10), 0)
+	open := func(workers int) *ParallelScanner {
+		br := openReader(t, raw, 1)
+		t.Cleanup(func() { br.Close() })
+		sc := NewParallelScanner(br, workers)
+		t.Cleanup(func() { sc.Close() })
+		return sc
+	}
+	forceSingleProc(t)
+	if sc := open(8); sc.seq == nil || sc.pipe != nil {
+		t.Error("workers=8 on 1 CPU: want the sequential bypass")
+	}
+	forcePipeline(t)
+	if sc := open(1); sc.seq == nil || sc.pipe != nil {
+		t.Error("workers=1 on 4 CPUs: want the sequential bypass")
+	}
+	if sc := open(2); sc.seq != nil || sc.pipe == nil {
+		t.Error("workers=2 on 4 CPUs: want the decode pipeline")
+	}
+}
+
 func TestBodyScannerMatchesReadBody(t *testing.T) {
 	h := testHeader()
 	recs := genRecords(t, 300)
@@ -187,6 +229,7 @@ func opaqueReader(raw []byte) bgzf.BlockReader {
 }
 
 func TestParallelScannerMatchesSequential(t *testing.T) {
+	forcePipeline(t) // workers=1 still takes the bypass; workers=4 the pipeline
 	h := testHeader()
 	recs := genRecords(t, 2000)
 	for _, payload := range scannerPayloads {
@@ -230,6 +273,7 @@ func TestParallelScannerMatchesSequential(t *testing.T) {
 // preceding the defect, then fail with the same error text as the
 // sequential reader.
 func TestParallelScannerErrorParity(t *testing.T) {
+	forcePipeline(t)
 	h := testHeader()
 	recs := genRecords(t, 120)
 	var half []byte
@@ -272,26 +316,30 @@ func TestParallelScannerErrorParity(t *testing.T) {
 					t.Fatalf("sequential err = %v, want ErrInvalidRecord", werr)
 				}
 
-				br := openReader(t, raw, 2)
-				defer br.Close()
-				sc := NewParallelScanner(br, 3)
-				defer sc.Close()
-				var got sam.Record
-				gotN, gerr := 0, error(nil)
-				for {
-					if gerr = sc.ReadInto(&got); gerr != nil {
-						break
+				// workers=1 exercises the bypass, workers=3 the pipeline —
+				// both must reproduce the sequential error exactly.
+				for _, workers := range []int{1, 3} {
+					br := openReader(t, raw, 2)
+					defer br.Close()
+					sc := NewParallelScanner(br, workers)
+					defer sc.Close()
+					var got sam.Record
+					gotN, gerr := 0, error(nil)
+					for {
+						if gerr = sc.ReadInto(&got); gerr != nil {
+							break
+						}
+						gotN++
 					}
-					gotN++
-				}
-				if gotN != wantN {
-					t.Errorf("parallel scanner delivered %d records before the defect, want %d", gotN, wantN)
-				}
-				if gerr == nil || gerr.Error() != werr.Error() {
-					t.Errorf("parallel err = %v, want %v", gerr, werr)
-				}
-				if sc.Err() == nil {
-					t.Error("Err() nil after failure")
+					if gotN != wantN {
+						t.Errorf("workers=%d: delivered %d records before the defect, want %d", workers, gotN, wantN)
+					}
+					if gerr == nil || gerr.Error() != werr.Error() {
+						t.Errorf("workers=%d: err = %v, want %v", workers, gerr, werr)
+					}
+					if sc.Err() == nil {
+						t.Errorf("workers=%d: Err() nil after failure", workers)
+					}
 				}
 			})
 		}
@@ -301,48 +349,59 @@ func TestParallelScannerErrorParity(t *testing.T) {
 // Closing mid-stream must stop the feeder and drain the pipeline without
 // deadlocking, and subsequent Next calls must fail.
 func TestParallelScannerEarlyClose(t *testing.T) {
+	forcePipeline(t)
 	h := testHeader()
 	raw := encodeBAM(t, h, genRecords(t, 3000), 256)
-	for _, codecWorkers := range []int{1, 2} {
-		br := openReader(t, raw, codecWorkers)
-		sc := NewParallelScanner(br, 4)
-		var rec sam.Record
-		for i := 0; i < 10; i++ {
-			if ok, err := sc.Next(&rec); !ok || err != nil {
-				t.Fatalf("record %d: ok=%v err=%v", i, ok, err)
+	for _, workers := range []int{1, 4} { // bypass and pipeline
+		for _, codecWorkers := range []int{1, 2} {
+			br := openReader(t, raw, codecWorkers)
+			sc := NewParallelScanner(br, workers)
+			var rec sam.Record
+			for i := 0; i < 10; i++ {
+				if ok, err := sc.Next(&rec); !ok || err != nil {
+					t.Fatalf("record %d: ok=%v err=%v", i, ok, err)
+				}
 			}
-		}
-		if err := sc.Close(); err != nil {
-			t.Fatal(err)
-		}
-		if ok, err := sc.Next(&rec); ok || err == nil {
-			t.Error("Next after Close succeeded")
-		}
-		if err := br.Close(); err != nil {
-			t.Fatal(err)
+			if err := sc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if ok, err := sc.Next(&rec); ok || err == nil {
+				t.Errorf("workers=%d: Next after Close succeeded", workers)
+			}
+			if err := br.Close(); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 }
 
 func TestParallelScannerEmptyStream(t *testing.T) {
+	forcePipeline(t)
 	h := testHeader()
 	raw := encodeBAM(t, h, nil, 0)
-	br := openReader(t, raw, 1)
-	defer br.Close()
-	sc := NewParallelScanner(br, 2)
-	defer sc.Close()
-	var rec sam.Record
-	if ok, err := sc.Next(&rec); ok || err != nil {
-		t.Errorf("Next on empty stream = %v, %v", ok, err)
-	}
-	if err := sc.Err(); err != nil {
-		t.Errorf("Err on empty stream = %v", err)
+	for _, workers := range []int{1, 2} { // bypass and pipeline
+		br := openReader(t, raw, 1)
+		defer br.Close()
+		sc := NewParallelScanner(br, workers)
+		defer sc.Close()
+		var rec sam.Record
+		if ok, err := sc.Next(&rec); ok || err != nil {
+			t.Errorf("workers=%d: Next on empty stream = %v, %v", workers, ok, err)
+		}
+		if err := sc.Err(); err != nil {
+			t.Errorf("workers=%d: Err on empty stream = %v", workers, err)
+		}
 	}
 }
 
 // BenchmarkParallelBAMScan sweeps the decode worker pool over a
 // synthetic BAM: workers=1/seq is the sequential ReadInto loop, the rest
-// run the parallel scanner (block inflate + record decode fan-out).
+// run the parallel scanner (block inflate + record decode fan-out). On a
+// single-CPU host the workers>1 variants resolve to the sequential
+// bypass, which is exactly the 1-CPU acceptance story: parallel must
+// stay at least as fast as sequential. The */pipe variants pin the
+// apparent CPU count to force the real pipeline so its dispatch
+// overhead stays measurable everywhere.
 func BenchmarkParallelBAMScan(b *testing.B) {
 	h := testHeader()
 	raw := encodeBAM(b, h, genRecords(b, 30000), 0)
@@ -361,23 +420,32 @@ func BenchmarkParallelBAMScan(b *testing.B) {
 			br.Close()
 		}
 	})
+	scan := func(b *testing.B, workers int) {
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			br := openReader(b, raw, workers)
+			sc := NewParallelScanner(br, workers)
+			var rec sam.Record
+			for {
+				if err := sc.ReadInto(&rec); err == io.EOF {
+					break
+				} else if err != nil {
+					b.Fatal(err)
+				}
+			}
+			sc.Close()
+			br.Close()
+		}
+	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			b.SetBytes(int64(len(raw)))
-			for i := 0; i < b.N; i++ {
-				br := openReader(b, raw, workers)
-				sc := NewParallelScanner(br, workers)
-				var rec sam.Record
-				for {
-					if err := sc.ReadInto(&rec); err == io.EOF {
-						break
-					} else if err != nil {
-						b.Fatal(err)
-					}
-				}
-				sc.Close()
-				br.Close()
-			}
+			scan(b, workers)
+		})
+	}
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("workers=%d/pipe", workers), func(b *testing.B) {
+			forcePipeline(b)
+			scan(b, workers)
 		})
 	}
 }

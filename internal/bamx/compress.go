@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"parseq/internal/bam"
+	"parseq/internal/bgzf"
 	"parseq/internal/obs"
 	"parseq/internal/parpipe"
 	"parseq/internal/sam"
@@ -68,10 +69,11 @@ type CompressedWriter struct {
 	err     error
 
 	// Parallel deflate pipeline (nil when workers <= 1). Blocks are
-	// independent flate streams, so they compress concurrently and the
-	// drain goroutine retires them in order, owning offsets/written
-	// until drained is closed.
+	// independent flate streams, so they compress concurrently on the
+	// process-wide bgzf.SharedPool and the drain goroutine retires them
+	// in order, owning offsets/written until drained is closed.
 	pipe    *parpipe.Pipe[*zblock]
+	shared  bool // pipe rides bgzf.SharedPool: feed its throughput sizer
 	drained chan struct{}
 	blkPool sync.Pool // raw block buffers
 	defPool sync.Pool // *flate.Writer per worker job
@@ -100,9 +102,11 @@ func NewCompressedWriter(w io.Writer, h *sam.Header, caps Caps, recsPerBlock int
 }
 
 // NewCompressedWriterWorkers is NewCompressedWriter with block deflation
-// fanned out over `workers` goroutines (≤1 keeps it on the caller).
-// Output is byte-identical regardless of worker count: blocks are
-// retired in submission order and flate with a fixed level is
+// fanned out on the process-wide bgzf.SharedPool (≤1 keeps it on the
+// caller); `workers` sizes the writer's in-flight window while the pool
+// adapts its own worker count to aggregate demand, BAMZ blocks
+// included. Output is byte-identical regardless of worker count: blocks
+// are retired in submission order and flate with a fixed level is
 // deterministic.
 func NewCompressedWriterWorkers(w io.Writer, h *sam.Header, caps Caps, recsPerBlock, workers int) (*CompressedWriter, error) {
 	if caps.QName < 2 || caps.Seq < 1 {
@@ -147,7 +151,12 @@ func NewCompressedWriterWorkers(w io.Writer, h *sam.Header, caps Caps, recsPerBl
 	}
 	if workers > 1 {
 		cw.blkPool.New = func() any { return make([]byte, 0, recsPerBlock*stride) }
-		cw.pipe = parpipe.NewObserved(workers, 4*workers, cw.deflateBlock, obs.Default(), "bamz.deflate")
+		// Attach to the shared deflate pool rather than spinning up a
+		// private one: a conversion run already runs BGZF writers and
+		// sorter spills on it, and one sizer seeing every deflate stream
+		// beats several pools guessing independently.
+		cw.shared = true
+		cw.pipe = parpipe.NewOnPool(bgzf.SharedPool(), 4*workers, cw.deflateBlock, obs.Default(), "bamz.deflate")
 		cw.drained = make(chan struct{})
 		go cw.drain()
 	}
@@ -156,14 +165,20 @@ func NewCompressedWriterWorkers(w io.Writer, h *sam.Header, caps Caps, recsPerBl
 
 // deflateBlock is the worker function: compress one block's raw bytes.
 func (w *CompressedWriter) deflateBlock(b *zblock) {
-	if w.metLatency != nil {
+	if w.metLatency != nil || w.shared {
 		t0 := time.Now()
 		defer func() {
-			w.metLatency.Observe(time.Since(t0).Nanoseconds())
-			w.metBlocks.Add(1)
-			w.metBytesIn.Add(int64(len(b.raw)))
-			if b.err == nil {
-				w.metBytesOut.Add(int64(b.comp.Len()))
+			d := time.Since(t0)
+			if w.shared {
+				bgzf.ObserveSharedDeflate(len(b.raw), d)
+			}
+			if w.metLatency != nil {
+				w.metLatency.Observe(d.Nanoseconds())
+				w.metBlocks.Add(1)
+				w.metBytesIn.Add(int64(len(b.raw)))
+				if b.err == nil {
+					w.metBytesOut.Add(int64(b.comp.Len()))
+				}
 			}
 		}()
 	}

@@ -11,6 +11,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"parseq/internal/kern"
 )
 
 // Feature is one BED line. Start/End are 0-based half-open, per the
@@ -36,6 +38,19 @@ func (f Feature) Len() int { return f.End - f.Start }
 
 // ErrMalformed reports a syntactically invalid line.
 var ErrMalformed = errors.New("bed: malformed input")
+
+// atoiCoord converts a coordinate column. The overwhelmingly common
+// case — a plain run of digits fitting int32, which is every genomic
+// coordinate — takes the kern word-wide digit kernel; anything it
+// rejects (signs, 2^31 and larger, junk) falls back to strconv.Atoi so
+// accept/reject semantics and platform int-range behavior stay exactly
+// Atoi's.
+func atoiCoord(s string) (int, error) {
+	if v, ok := kern.ParseUint(kern.StringBytes(s), 1<<31-1); ok {
+		return int(v), nil
+	}
+	return strconv.Atoi(s)
+}
 
 // skippable reports track/browser/comment/blank lines.
 func skippable(line string) bool {
@@ -104,11 +119,11 @@ func ParseFeature(line string) (Feature, error) {
 	if len(cols) < 3 {
 		return Feature{}, fmt.Errorf("%w: %d columns", ErrMalformed, len(cols))
 	}
-	start, err := strconv.Atoi(cols[1])
+	start, err := atoiCoord(cols[1])
 	if err != nil {
 		return Feature{}, fmt.Errorf("%w: start %q", ErrMalformed, cols[1])
 	}
-	end, err := strconv.Atoi(cols[2])
+	end, err := atoiCoord(cols[2])
 	if err != nil {
 		return Feature{}, fmt.Errorf("%w: end %q", ErrMalformed, cols[2])
 	}
@@ -238,11 +253,11 @@ func ReadGraph(r io.Reader) ([]GraphInterval, error) {
 		if len(cols) < 4 {
 			return nil, fmt.Errorf("line %d: %w: %d columns", line, ErrMalformed, len(cols))
 		}
-		start, err := strconv.Atoi(cols[1])
+		start, err := atoiCoord(cols[1])
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w: start %q", line, ErrMalformed, cols[1])
 		}
-		end, err := strconv.Atoi(cols[2])
+		end, err := atoiCoord(cols[2])
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w: end %q", line, ErrMalformed, cols[2])
 		}

@@ -53,6 +53,10 @@ func newCodecObs(reg *obs.Registry, dir string) *codecObs {
 // explicit worker count still goes uncapped.
 const maxAutoWorkers = 8
 
+// gomaxprocs is runtime.GOMAXPROCS, indirected so tests can pin the
+// apparent CPU count when exercising the adaptive worker default.
+var gomaxprocs = runtime.GOMAXPROCS
+
 // resolveWorkers applies the worker-count convention shared by the
 // parallel codec constructors: n > 0 is taken as given, anything else
 // means one worker per available CPU, capped at maxAutoWorkers.
@@ -60,7 +64,7 @@ func resolveWorkers(n int) int {
 	if n > 0 {
 		return n
 	}
-	if p := runtime.GOMAXPROCS(0); p < maxAutoWorkers {
+	if p := gomaxprocs(0); p < maxAutoWorkers {
 		return p
 	}
 	return maxAutoWorkers

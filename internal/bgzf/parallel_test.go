@@ -496,3 +496,27 @@ func BenchmarkBGZFParallelRead(b *testing.B) {
 		})
 	}
 }
+
+// AutoWorkers must track the apparent CPU count: one worker per CPU,
+// capped at maxAutoWorkers, and exactly 1 on a single-CPU host so every
+// constructor's sequential path engages.
+func TestAutoWorkersTracksProcs(t *testing.T) {
+	old := gomaxprocs
+	defer func() { gomaxprocs = old }()
+	for _, tc := range []struct{ procs, want int }{
+		{1, 1},
+		{2, 2},
+		{maxAutoWorkers, maxAutoWorkers},
+		{maxAutoWorkers + 4, maxAutoWorkers},
+	} {
+		gomaxprocs = func(int) int { return tc.procs }
+		if got := AutoWorkers(); got != tc.want {
+			t.Errorf("AutoWorkers with %d CPUs = %d, want %d", tc.procs, got, tc.want)
+		}
+	}
+	// An explicit worker count passes through untouched, even past the cap.
+	gomaxprocs = func(int) int { return 1 }
+	if got := resolveWorkers(12); got != 12 {
+		t.Errorf("resolveWorkers(12) = %d, want 12", got)
+	}
+}

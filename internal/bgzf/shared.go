@@ -57,6 +57,18 @@ func NewSharedParallelWriter(w io.Writer) *ParallelWriter {
 	return pw
 }
 
+// ObserveSharedDeflate feeds one deflate job that ran on SharedPool but
+// outside the BGZF writers — the BAMZ block compressor — into the
+// pool's throughput sizer: n payload bytes compressed in d of worker
+// wall time. Every deflate consumer of the shared pool contributes to
+// the same demand window, so the pool sizes for the true aggregate
+// load (and the bgzf.shared_pool.throughput gauge the admission-control
+// plan reads stays honest).
+func ObserveSharedDeflate(n int, d time.Duration) {
+	SharedPool() // force sharedSizer initialisation
+	sharedSizer.observe(n, d)
+}
+
 const (
 	sizerAlpha  = 0.2 // EWMA smoothing for per-worker throughput
 	resizeEvery = 32  // blocks between resize decisions

@@ -249,11 +249,13 @@ func tallyRange(samPath string, br partition.ByteRange) (Stats, error) {
 	scan.Buffer(make([]byte, 256<<10), 4<<20)
 	var rec sam.Record
 	for scan.Scan() {
-		line := scan.Text()
-		if line == "" {
+		line := scan.Bytes()
+		if len(line) == 0 {
 			continue
 		}
-		if err := sam.ParseRecordInto(&rec, line); err != nil {
+		// Bytes path: no per-line string copy, kern-scanned fields. The
+		// record is consumed by Add before the scanner reuses the buffer.
+		if err := sam.ParseRecordIntoBytes(&rec, line); err != nil {
 			return s, err
 		}
 		s.Add(&rec)

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"parseq/internal/kern"
 	"parseq/internal/sam"
 )
 
@@ -228,7 +229,9 @@ func (FASTA) Encode(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error) 
 	dst = append(dst, readSuffix(rec.Flag)...)
 	dst = append(dst, '\n')
 	if rec.Flag.Reverse() {
-		dst = append(dst, sam.ReverseComplement(rec.Seq)...)
+		var tail []byte
+		dst, tail = kern.Grow(dst, len(rec.Seq))
+		kern.ReverseComplement(tail, kern.StringBytes(rec.Seq))
 	} else {
 		dst = append(dst, rec.Seq...)
 	}
@@ -258,22 +261,28 @@ func (FASTQ) Encode(dst []byte, rec *sam.Record, h *sam.Header) ([]byte, error) 
 	dst = append(dst, rec.QName...)
 	dst = append(dst, readSuffix(rec.Flag)...)
 	dst = append(dst, '\n')
-	seq, qual := rec.Seq, rec.Qual
-	if rec.Flag.Reverse() {
-		seq = sam.ReverseComplement(seq)
-		if qual != "*" {
-			qual = sam.Reverse(qual)
-		}
-	}
-	dst = append(dst, seq...)
-	dst = append(dst, "\n+\n"...)
-	if qual == "*" {
-		// Missing qualities render as the lowest score, one per base.
-		for range seq {
-			dst = append(dst, '!')
-		}
+	// Reverse-strand reads mirror straight into the output buffer — the
+	// kern word loops replace the per-record intermediate string the old
+	// path allocated for sam.ReverseComplement/sam.Reverse.
+	rev := rec.Flag.Reverse()
+	var tail []byte
+	if rev {
+		dst, tail = kern.Grow(dst, len(rec.Seq))
+		kern.ReverseComplement(tail, kern.StringBytes(rec.Seq))
 	} else {
-		dst = append(dst, qual...)
+		dst = append(dst, rec.Seq...)
+	}
+	dst = append(dst, "\n+\n"...)
+	switch {
+	case rec.Qual == "*":
+		// Missing qualities render as the lowest score, one per base.
+		dst, tail = kern.Grow(dst, len(rec.Seq))
+		kern.Fill(tail, '!')
+	case rev:
+		dst, tail = kern.Grow(dst, len(rec.Qual))
+		kern.Reverse(tail, kern.StringBytes(rec.Qual))
+	default:
+		dst = append(dst, rec.Qual...)
 	}
 	return append(dst, '\n'), nil
 }

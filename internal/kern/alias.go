@@ -1,0 +1,41 @@
+// Zero-copy marshaling helpers shared by the kernel call sites: record
+// fields live in strings, kernels run on byte slices, and the hot paths
+// cannot afford a copy per crossing. Centralizing the unsafe aliasing
+// here keeps every other package free of unsafe.
+
+package kern
+
+import "unsafe"
+
+// StringBytes aliases s as a byte slice without copying. The result is
+// read-only by contract — writing through it is undefined behavior, so
+// it must only be passed as a kernel's src argument.
+func StringBytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
+}
+
+// BytesString aliases b as a string without copying. Safe exactly as
+// long as b is never mutated while the string is reachable; callers
+// pass freshly built buffers that are not retained elsewhere.
+func BytesString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// Grow extends dst by n bytes and returns the extended slice plus its
+// writable n-byte tail, so kernels fill output in place instead of the
+// caller appending byte-by-byte.
+func Grow(dst []byte, n int) (all, tail []byte) {
+	if cap(dst)-len(dst) < n {
+		next := make([]byte, len(dst), len(dst)+n+len(dst)/2)
+		copy(next, dst)
+		dst = next
+	}
+	dst = dst[:len(dst)+n]
+	return dst, dst[len(dst)-n:]
+}

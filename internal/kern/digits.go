@@ -1,0 +1,81 @@
+package kern
+
+const (
+	digitHigh uint64 = 0xf0f0f0f0f0f0f0f0
+	digitLow  uint64 = 0x0f0f0f0f0f0f0f0f
+	ascii0    uint64 = 0x3030303030303030
+	// digitProbe pushes '9'+1 .. '9'+6 (0x3a-0x3f, which share the '0'
+	// high nibble and would slip past the nibble test alone) out of
+	// nibble 3, without ever carrying across a lane for true digits.
+	digitProbe uint64 = 0x0606060606060606
+)
+
+// ParseUint parses p as an unsigned decimal integer — every byte must
+// be an ASCII digit and the value must not exceed max — returning the
+// value and ok=false on empty input, a non-digit, or overflow. It
+// accepts any number of leading zeros, exactly like the per-digit
+// loop it replaces. The word path converts eight digits per iteration:
+// a two-probe SWAR validity check, then three multiply-shift folds that
+// collapse the lanes into one integer. Word chunks engage only for
+// max < 2^32 (every SAM numeric field qualifies); larger bounds take
+// the scalar twin, whose per-digit guard is overflow-safe for any max.
+func ParseUint(p []byte, max uint64) (uint64, bool) {
+	if max >= 1<<32 || len(p) < 8 {
+		return parseUintScalar(p, max)
+	}
+	var v uint64
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		w := load64(p[i:])
+		if w&digitHigh != ascii0 || (w+digitProbe)&digitHigh != ascii0 {
+			return 0, false
+		}
+		d := w & digitLow
+		d = (d * 2561) >> 8
+		d = ((d & 0x00ff00ff00ff00ff) * 6553601) >> 16
+		d = ((d & 0x0000ffff0000ffff) * 42949672960001) >> 32
+		// v ≤ max < 2^32 here, so v*1e8 + d < 2^59: no uint64 overflow
+		// between bound checks.
+		v = v*100000000 + d
+		if v > max {
+			return 0, false
+		}
+	}
+	for ; i < len(p); i++ {
+		c := p[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+		if v > max {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// parseUintScalar is ParseUint's scalar reference twin — the classic
+// per-digit accumulate with a divide-based guard that cannot overflow
+// for any max.
+func parseUintScalar(p []byte, max uint64) (uint64, bool) {
+	if len(p) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < len(p); i++ {
+		c := p[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > max/10 {
+			return 0, false
+		}
+		v *= 10 // ≤ (max/10)*10, so no overflow and max-v below cannot wrap
+		if d > max-v {
+			return 0, false
+		}
+		v += d
+	}
+	return v, true
+}

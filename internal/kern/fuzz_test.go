@@ -1,0 +1,90 @@
+package kern
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnpackSeq drives the pack/unpack kernels with arbitrary packed
+// bytes, both length parities and a fuzzer-chosen misalignment, holding
+// kernel ≡ scalar plus the canonical round trip.
+func FuzzUnpackSeq(f *testing.F) {
+	f.Add([]byte{}, false, uint8(0))
+	f.Add([]byte{0x12}, true, uint8(1))
+	f.Add([]byte{0x01, 0x24, 0x8f, 0xff, 0x00, 0x42, 0x99, 0xa5, 0x3c}, false, uint8(3))
+	f.Add(bytes.Repeat([]byte{0xff}, 33), true, uint8(7))
+	f.Fuzz(func(t *testing.T, packed []byte, odd bool, off uint8) {
+		n := len(packed) * 2
+		if odd && n > 0 {
+			n--
+		}
+		buf := make([]byte, len(packed)+int(off%8))
+		src := buf[off%8:]
+		copy(src, packed)
+
+		got := make([]byte, n)
+		want := make([]byte, n)
+		UnpackSeq(got, src, n)
+		unpackSeqScalar(want, src, n)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("UnpackSeq(%x, %d): got %q want %q", src, n, got, want)
+		}
+
+		// Unpacked text is canonical alphabet, so packing it back must
+		// agree with the scalar packer and reproduce the nibbles.
+		repacked := make([]byte, (n+1)/2)
+		repackedScalar := make([]byte, (n+1)/2)
+		PackSeq(repacked, got)
+		packSeqScalar(repackedScalar, want)
+		if !bytes.Equal(repacked, repackedScalar) {
+			t.Fatalf("PackSeq(%q): got %x scalar %x", got, repacked, repackedScalar)
+		}
+		back := make([]byte, n)
+		UnpackSeq(back, repacked, n)
+		if !bytes.Equal(back, got) {
+			t.Fatalf("round trip diverged: %q became %q", got, back)
+		}
+	})
+}
+
+// FuzzShiftQual drives the quality-shift and range-check kernels with
+// arbitrary payloads, shift constants and bounds, holding kernel ≡
+// scalar for both, including the in-place aliased shift.
+func FuzzShiftQual(f *testing.F) {
+	f.Add([]byte{}, uint8(33), uint8('!'), uint8('~'))
+	f.Add([]byte("IIIIIIIIIIIIIIIII"), uint8(223), uint8('!'), uint8('~'))
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f, 33, 126, 32, 127, 1}, uint8(33), uint8(0), uint8(255))
+	f.Fuzz(func(t *testing.T, p []byte, c, lo, hi uint8) {
+		got := make([]byte, len(p))
+		want := make([]byte, len(p))
+		AddConst(got, p, c)
+		addConstScalar(want, p, c)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("AddConst(%x, %d): got %x want %x", p, c, got, want)
+		}
+		inPlace := append([]byte(nil), p...)
+		AddConst(inPlace, inPlace, c)
+		if !bytes.Equal(inPlace, want) {
+			t.Fatalf("AddConst in place (%x, %d): got %x want %x", p, c, inPlace, want)
+		}
+		if g, w := RangeOK(p, lo, hi), rangeOKScalar(p, lo, hi); g != w {
+			t.Fatalf("RangeOK(%x, %d, %d) = %v, scalar %v", p, lo, hi, g, w)
+		}
+	})
+}
+
+// FuzzParseUint holds the digit kernel to its scalar twin for arbitrary
+// bytes and bounds — the overflow guards differ structurally (per-chunk
+// vs per-digit), so the fuzzer hunts for a divergence between them.
+func FuzzParseUint(f *testing.F) {
+	f.Add([]byte("2147483647"), uint64(1<<31-1))
+	f.Add([]byte("00000000000000000009"), uint64(255))
+	f.Add([]byte("99999999999999999999"), uint64(1)<<63)
+	f.Fuzz(func(t *testing.T, p []byte, max uint64) {
+		gv, gok := ParseUint(p, max)
+		wv, wok := parseUintScalar(p, max)
+		if gv != wv || gok != wok {
+			t.Fatalf("ParseUint(%q, %d) = (%d, %v), scalar (%d, %v)", p, max, gv, gok, wv, wok)
+		}
+	})
+}

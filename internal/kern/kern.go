@@ -1,0 +1,56 @@
+// Package kern is the word-wide transcoding kernel layer: dependency-free
+// pure-Go uint64 (SWAR — "SIMD within a register") implementations of the
+// per-byte inner loops that dominate single-rank transcoding throughput —
+// BAM 4-bit sequence unpack/pack, quality ±33 shifting, reverse
+// complement, byte scanning/counting and bulk ASCII-digit parsing.
+//
+// The paper removes the coarse-grained sequential bottlenecks of NGS
+// analysis; these kernels attack the fine-grained one left underneath:
+// every converter rank, codec worker and analysis pass ultimately runs a
+// byte-at-a-time loop over record payloads, so single-core loop speed
+// caps what any amount of rank parallelism can deliver (grailbio's
+// biosimd makes the same investment with SSE; htslib with its hand-tuned
+// codecs). Here the loops go eight to sixteen bytes per iteration on
+// plain uint64 loads and stores — portable, allocation-free, and safe on
+// any alignment, since encoding/binary loads compile to single MOVs on
+// little-endian targets and byte-reversed loads elsewhere.
+//
+// Every exported kernel has an unexported scalar reference twin
+// (unpackSeqScalar, addConstScalar, ...) that states the contract in
+// obvious one-byte-at-a-time code. The equivalence tests and fuzz
+// targets in this package hold kernel ≡ scalar on arbitrary inputs,
+// lengths and alignments; the benchmarks pin the speedups.
+package kern
+
+import "encoding/binary"
+
+const (
+	// ones has the low bit of every byte lane set; multiplying a byte
+	// value by it broadcasts that byte across all eight lanes.
+	ones uint64 = 0x0101010101010101
+	// highs has the high bit of every byte lane set — the carry fence
+	// and comparison-result mask of the SWAR idioms below.
+	highs uint64 = 0x8080808080808080
+)
+
+// load64 and store64 move one register-width lane. On little-endian
+// machines (every supported amd64/arm64 target) they compile to a single
+// unaligned MOV.
+func load64(p []byte) uint64 { return binary.LittleEndian.Uint64(p) }
+
+func store64(p []byte, v uint64) { binary.LittleEndian.PutUint64(p, v) }
+
+// nonzeroLanes returns a word whose byte lanes hold 0x80 where the
+// corresponding lane of v is nonzero and 0x00 where it is zero. Unlike
+// the classic (v-ones)&^v&highs zero test it is exact per lane — the
+// 7-bit partial sums cannot carry across lane boundaries — so the result
+// can be fed to bits.OnesCount64 to count matches.
+func nonzeroLanes(v uint64) uint64 {
+	return ((v &^ highs) + ^highs | v) & highs
+}
+
+// addLanes adds the byte lanes of a and b independently, each wrapping
+// mod 256 with no carry into its neighbour.
+func addLanes(a, b uint64) uint64 {
+	return ((a &^ highs) + (b &^ highs)) ^ ((a ^ b) & highs)
+}

@@ -1,0 +1,331 @@
+package kern
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randBytes returns n pseudo-random bytes from rng.
+func randBytes(rng *rand.Rand, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(rng.Intn(256))
+	}
+	return p
+}
+
+// misalign reslices p to start at an odd offset inside a larger
+// allocation, so word loads in the kernels cross the original
+// alignment; content is preserved.
+func misalign(p []byte) []byte {
+	buf := make([]byte, len(p)+16)
+	off := 3
+	copy(buf[off:], p)
+	return buf[off : off+len(p)]
+}
+
+// TestUnpackSeqMatchesScalar holds the equivalence contract for the
+// 4-bit unpack kernel over every length in the first few word
+// multiples (both parities, so the half-byte tail is covered) on
+// random packed input, at natural and odd alignments.
+func TestUnpackSeqMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n <= 70; n++ {
+		src := randBytes(rng, (n+1)/2)
+		for _, s := range [][]byte{src, misalign(src)} {
+			got := make([]byte, n)
+			want := make([]byte, n)
+			UnpackSeq(got, s, n)
+			unpackSeqScalar(want, s, n)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("UnpackSeq n=%d: got %q want %q", n, got, want)
+			}
+			trick := make([]byte, n)
+			unpackSeqBitTrick(trick, s, n)
+			if !bytes.Equal(trick, want) {
+				t.Fatalf("unpackSeqBitTrick n=%d: got %q want %q", n, trick, want)
+			}
+		}
+	}
+}
+
+// TestPackSeqMatchesScalar holds the pack contract on arbitrary ASCII —
+// bases of both cases plus junk bytes that must all collapse to the 'N'
+// code — including odd lengths whose final base lands in a high nibble.
+func TestPackSeqMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 0; n <= 70; n++ {
+		src := make([]byte, n)
+		for i := range src {
+			switch rng.Intn(3) {
+			case 0:
+				src[i] = SeqChars[rng.Intn(16)]
+			case 1:
+				src[i] = SeqChars[rng.Intn(16)] | 0x20
+			default:
+				src[i] = byte(rng.Intn(256))
+			}
+		}
+		for _, s := range [][]byte{src, misalign(src)} {
+			got := make([]byte, (n+1)/2)
+			want := make([]byte, (n+1)/2)
+			PackSeq(got, s)
+			packSeqScalar(want, s)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("PackSeq n=%d src=%q: got %x want %x", n, s, got, want)
+			}
+		}
+	}
+}
+
+// TestPackUnpackRoundTrip pins the BAM invariant: canonical upper-case
+// alphabet text survives pack→unpack byte-for-byte.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 0; n <= 40; n++ {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = SeqChars[rng.Intn(16)]
+		}
+		packed := make([]byte, (n+1)/2)
+		PackSeq(packed, src)
+		back := make([]byte, n)
+		UnpackSeq(back, packed, n)
+		if !bytes.Equal(back, src) {
+			t.Fatalf("round trip n=%d: %q became %q", n, src, back)
+		}
+	}
+}
+
+// TestAddConstMatchesScalar covers the quality-shift kernel for the two
+// live constants (+33 decode, 256-33 encode) and wrap-heavy ones, both
+// out-of-place and aliased in place (the BAM encoder shifts in place).
+func TestAddConstMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, c := range []byte{0, 1, 33, 223, 255} {
+		for n := 0; n <= 70; n++ {
+			src := randBytes(rng, n)
+			got := make([]byte, n)
+			want := make([]byte, n)
+			AddConst(got, src, c)
+			addConstScalar(want, src, c)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("AddConst c=%d n=%d: got %x want %x", c, n, got, want)
+			}
+			inPlace := append([]byte(nil), src...)
+			AddConst(inPlace, inPlace, c)
+			if !bytes.Equal(inPlace, want) {
+				t.Fatalf("AddConst in place c=%d n=%d: got %x want %x", c, n, inPlace, want)
+			}
+		}
+	}
+}
+
+// TestRangeOKMatchesScalar sweeps random bounds — including inverted,
+// lo>128 and hi>127 fallback territory — over random payloads, then
+// pins the boundary bytes lo-1/lo/hi/hi+1 at every lane position.
+func TestRangeOKMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 2000; trial++ {
+		lo := byte(rng.Intn(256))
+		hi := byte(rng.Intn(256))
+		n := rng.Intn(40)
+		p := make([]byte, n)
+		for i := range p {
+			// Cluster near the bounds so in-range inputs actually occur.
+			p[i] = byte(int(lo) + rng.Intn(64) - 8)
+		}
+		if got, want := RangeOK(p, lo, hi), rangeOKScalar(p, lo, hi); got != want {
+			t.Fatalf("RangeOK(%x, %d, %d) = %v, scalar %v", p, lo, hi, got, want)
+		}
+	}
+	for _, bounds := range [][2]byte{{'!', '~'}, {33, 126}, {0, 127}, {1, 1}, {128, 200}} {
+		lo, hi := bounds[0], bounds[1]
+		for pos := 0; pos < 17; pos++ {
+			for _, b := range []byte{lo - 1, lo, hi, hi + 1, 0, 0xff} {
+				p := bytes.Repeat([]byte{(lo + hi) / 2}, 17)
+				p[pos] = b
+				if got, want := RangeOK(p, lo, hi), rangeOKScalar(p, lo, hi); got != want {
+					t.Fatalf("RangeOK boundary b=%d pos=%d lo=%d hi=%d = %v, scalar %v",
+						b, pos, lo, hi, got, want)
+				}
+			}
+		}
+	}
+	if !RangeOK(nil, 2, 1) || !rangeOKScalar(nil, 2, 1) {
+		t.Error("empty input must satisfy any bounds")
+	}
+	if RangeOK([]byte{1}, 2, 1) {
+		t.Error("inverted bounds accepted a byte")
+	}
+}
+
+// TestReverseMatchesScalar holds both mirror kernels to their scalar
+// twins across the tail lengths and at odd alignment.
+func TestReverseMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for n := 0; n <= 70; n++ {
+		src := randBytes(rng, n)
+		for _, s := range [][]byte{src, misalign(src)} {
+			got := make([]byte, n)
+			want := make([]byte, n)
+			Reverse(got, s)
+			reverseScalar(want, s)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("Reverse n=%d: got %x want %x", n, got, want)
+			}
+			ReverseComplement(got, s)
+			reverseComplementScalar(want, s)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("ReverseComplement n=%d: got %x want %x", n, got, want)
+			}
+		}
+	}
+}
+
+// TestComplementTable pins the IUPAC pairs and the unknown→'N' default.
+func TestComplementTable(t *testing.T) {
+	for _, pair := range [][2]byte{{'A', 'T'}, {'C', 'G'}, {'R', 'Y'}, {'K', 'M'}, {'B', 'V'}, {'D', 'H'}} {
+		if Complement[pair[0]] != pair[1] || Complement[pair[1]] != pair[0] {
+			t.Errorf("Complement[%c]=%c, Complement[%c]=%c; want a mutual pair",
+				pair[0], Complement[pair[0]], pair[1], Complement[pair[1]])
+		}
+		a, b := pair[0]|0x20, pair[1]|0x20
+		if Complement[a] != b || Complement[b] != a {
+			t.Errorf("lower-case pair %c/%c broken", a, b)
+		}
+	}
+	for _, b := range []byte{'x', '*', 0, 0xff, '5'} {
+		if Complement[b] != 'N' {
+			t.Errorf("Complement[%q] = %q, want 'N'", b, Complement[b])
+		}
+	}
+	if Complement['S'] != 'S' || Complement['W'] != 'W' || Complement['N'] != 'N' {
+		t.Error("self-complementary codes must map to themselves")
+	}
+}
+
+// TestScanKernelsMatchScalar holds IndexByte/IndexAll/CountByte/Fill to
+// their twins on delimiter-dense and delimiter-free inputs.
+func TestScanKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(80)
+		p := make([]byte, n)
+		for i := range p {
+			if rng.Intn(4) == 0 {
+				p[i] = '\t'
+			} else {
+				p[i] = byte('a' + rng.Intn(26))
+			}
+		}
+		for _, c := range []byte{'\t', '\n', 'a', 0} {
+			if got, want := IndexByte(p, c), indexByteScalar(p, c); got != want {
+				t.Fatalf("IndexByte(%q, %q) = %d, scalar %d", p, c, got, want)
+			}
+			if got, want := CountByte(p, c), countByteScalar(p, c); got != want {
+				t.Fatalf("CountByte(%q, %q) = %d, scalar %d", p, c, got, want)
+			}
+			got := IndexAll(nil, p, c)
+			want := indexAllScalar(nil, p, c)
+			if len(got) != len(want) {
+				t.Fatalf("IndexAll(%q, %q) found %d, scalar %d", p, c, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("IndexAll(%q, %q)[%d] = %d, scalar %d", p, c, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	for n := 0; n <= 40; n++ {
+		got := randBytes(rng, n)
+		want := make([]byte, n)
+		Fill(got, '!')
+		fillScalar(want, '!')
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Fill n=%d: got %q", n, got)
+		}
+	}
+	// IndexAll must append, not clobber, a non-empty destination.
+	pre := IndexAll([]int{-1}, []byte("a\tb"), '\t')
+	if len(pre) != 2 || pre[0] != -1 || pre[1] != 1 {
+		t.Errorf("IndexAll append semantics broken: %v", pre)
+	}
+}
+
+// TestParseUintMatchesScalar fuzzes digit strings (with occasional
+// junk) against the scalar twin across the live field bounds, then
+// pins the edges: empty, leading zeros past a word boundary, exact-max
+// and max+1 at word and tail lengths, and huge-max scalar fallback.
+func TestParseUintMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	maxes := []uint64{0, 9, 255, 65535, math.MaxInt32, 1 << 31, 1 << 32, 1 << 60, math.MaxUint64}
+	for trial := 0; trial < 4000; trial++ {
+		n := rng.Intn(24)
+		p := make([]byte, n)
+		for i := range p {
+			if rng.Intn(12) == 0 {
+				p[i] = byte(rng.Intn(256))
+			} else {
+				p[i] = byte('0' + rng.Intn(10))
+			}
+		}
+		max := maxes[rng.Intn(len(maxes))]
+		gv, gok := ParseUint(p, max)
+		wv, wok := parseUintScalar(p, max)
+		if gv != wv || gok != wok {
+			t.Fatalf("ParseUint(%q, %d) = (%d, %v), scalar (%d, %v)", p, max, gv, gok, wv, wok)
+		}
+	}
+	cases := []struct {
+		in  string
+		max uint64
+		v   uint64
+		ok  bool
+	}{
+		{"", 255, 0, false},
+		{"0", 255, 0, true},
+		{"000000000000000042", 255, 42, true},
+		{"2147483647", math.MaxInt32, math.MaxInt32, true},
+		{"2147483648", math.MaxInt32, 0, false},
+		{"2147483648", 1 << 31, 1 << 31, true},
+		{"65535", 65535, 65535, true},
+		{"65536", 65535, 0, false},
+		{"18446744073709551615", math.MaxUint64, math.MaxUint64, true},
+		{"18446744073709551616", math.MaxUint64, 0, false},
+		{"1234567x", math.MaxInt32, 0, false},
+		{"+1", math.MaxInt32, 0, false},
+		{"-1", math.MaxInt32, 0, false},
+		{" 1", math.MaxInt32, 0, false},
+	}
+	for _, tc := range cases {
+		gv, gok := ParseUint([]byte(tc.in), tc.max)
+		if gv != tc.v || gok != tc.ok {
+			t.Errorf("ParseUint(%q, %d) = (%d, %v), want (%d, %v)", tc.in, tc.max, gv, gok, tc.v, tc.ok)
+		}
+		wv, wok := parseUintScalar([]byte(tc.in), tc.max)
+		if wv != tc.v || wok != tc.ok {
+			t.Errorf("parseUintScalar(%q, %d) = (%d, %v), want (%d, %v)", tc.in, tc.max, wv, wok, tc.v, tc.ok)
+		}
+	}
+}
+
+// TestBaseCode pins the encoder table contract shared with bam.
+func TestBaseCode(t *testing.T) {
+	for i := 0; i < len(SeqChars); i++ {
+		if BaseCode(SeqChars[i]) != byte(i) {
+			t.Errorf("BaseCode(%q) = %d, want %d", SeqChars[i], BaseCode(SeqChars[i]), i)
+		}
+		if BaseCode(SeqChars[i]|0x20) != byte(i) {
+			t.Errorf("BaseCode(lower %q) = %d, want %d", SeqChars[i]|0x20, BaseCode(SeqChars[i]|0x20), i)
+		}
+	}
+	for _, b := range []byte{'x', 'Z', 0, 0xff, '!'} {
+		if BaseCode(b) != 15 {
+			t.Errorf("BaseCode(%q) = %d, want 15 ('N')", b, BaseCode(b))
+		}
+	}
+}

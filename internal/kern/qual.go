@@ -1,0 +1,71 @@
+package kern
+
+// AddConst writes src[i]+c (each byte wrapping mod 256) into dst for
+// every byte of src; dst must be at least as long as src and may alias
+// it exactly (dst == src) but must not otherwise overlap. This is the
+// quality-score shift kernel: +33 turns raw BAM qualities into ASCII
+// (decode), +223 ≡ −33 turns ASCII back into raw scores (encode). The
+// word path shifts eight scores per iteration with a carryless lane
+// add instead of eight bounds-checked byte round trips.
+func AddConst(dst, src []byte, c byte) {
+	cw := ones * uint64(c)
+	i := 0
+	for ; i+8 <= len(src); i += 8 {
+		store64(dst[i:], addLanes(load64(src[i:]), cw))
+	}
+	for ; i < len(src); i++ {
+		dst[i] = src[i] + c
+	}
+}
+
+// addConstScalar is AddConst's scalar reference twin.
+func addConstScalar(dst, src []byte, c byte) {
+	for i := 0; i < len(src); i++ {
+		dst[i] = src[i] + c
+	}
+}
+
+// RangeOK reports whether every byte of p lies in [lo, hi] — the
+// validity check paired with the quality shift (ASCII qualities live in
+// ['!', '~']). The word path tests eight bytes per iteration with the
+// classic SWAR under/over probes, which are exact existence tests for
+// lo ≤ 128 and hi ≤ 127; wider bounds fall back to the scalar loop.
+func RangeOK(p []byte, lo, hi byte) bool {
+	if lo > hi {
+		return len(p) == 0
+	}
+	if lo > 128 || hi > 127 {
+		return rangeOKScalar(p, lo, hi)
+	}
+	low := ones * uint64(lo)
+	over := ones * uint64(127-hi)
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		v := load64(p[i:])
+		// Both probes may carry/borrow across lanes, but only when some
+		// lane is already out of range — so the word-level verdict stays
+		// exact even though individual lane bits may smear.
+		if (v-low)&^v&highs != 0 { // any byte < lo
+			return false
+		}
+		if ((v+over)|v)&highs != 0 { // any byte > hi
+			return false
+		}
+	}
+	for ; i < len(p); i++ {
+		if p[i] < lo || p[i] > hi {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeOKScalar is RangeOK's scalar reference twin.
+func rangeOKScalar(p []byte, lo, hi byte) bool {
+	for i := 0; i < len(p); i++ {
+		if p[i] < lo || p[i] > hi {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,79 @@
+package kern
+
+import "math/bits"
+
+// Complement is the IUPAC nucleotide complement table: ambiguity codes
+// map through their complements (case preserved) and unknown bytes map
+// to 'N', matching the SAM renderer's convention.
+var Complement = func() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = 'N'
+	}
+	pairs := []struct{ a, b byte }{
+		{'A', 'T'}, {'C', 'G'}, {'G', 'C'}, {'T', 'A'}, {'U', 'A'},
+		{'R', 'Y'}, {'Y', 'R'}, {'S', 'S'}, {'W', 'W'}, {'K', 'M'},
+		{'M', 'K'}, {'B', 'V'}, {'V', 'B'}, {'D', 'H'}, {'H', 'D'},
+		{'N', 'N'},
+	}
+	for _, p := range pairs {
+		t[p.a] = p.b
+		t[p.a+'a'-'A'] = p.b + 'a' - 'A'
+	}
+	return t
+}()
+
+// ReverseComplement writes the reverse complement of src into dst
+// (dst[i] = Complement[src[n-1-i]]); dst must be at least len(src)
+// long and must not overlap src. The word path reverses eight bytes at
+// a time with a single byte-swapped load and batches the complement
+// lookups behind one store.
+func ReverseComplement(dst, src []byte) {
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := bits.ReverseBytes64(load64(src[n-i-8:]))
+		out := uint64(Complement[byte(w)]) |
+			uint64(Complement[byte(w>>8)])<<8 |
+			uint64(Complement[byte(w>>16)])<<16 |
+			uint64(Complement[byte(w>>24)])<<24 |
+			uint64(Complement[byte(w>>32)])<<32 |
+			uint64(Complement[byte(w>>40)])<<40 |
+			uint64(Complement[byte(w>>48)])<<48 |
+			uint64(Complement[byte(w>>56)])<<56
+		store64(dst[i:], out)
+	}
+	for ; i < n; i++ {
+		dst[i] = Complement[src[n-1-i]]
+	}
+}
+
+// reverseComplementScalar is ReverseComplement's scalar reference twin.
+func reverseComplementScalar(dst, src []byte) {
+	n := len(src)
+	for i := 0; i < n; i++ {
+		dst[i] = Complement[src[n-1-i]]
+	}
+}
+
+// Reverse writes src reversed into dst; dst must be at least len(src)
+// long and must not overlap src. Eight bytes per iteration via
+// byte-swapped loads — the quality-string mirror of ReverseComplement.
+func Reverse(dst, src []byte) {
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		store64(dst[i:], bits.ReverseBytes64(load64(src[n-i-8:])))
+	}
+	for ; i < n; i++ {
+		dst[i] = src[n-1-i]
+	}
+}
+
+// reverseScalar is Reverse's scalar reference twin.
+func reverseScalar(dst, src []byte) {
+	n := len(src)
+	for i := 0; i < n; i++ {
+		dst[i] = src[n-1-i]
+	}
+}

@@ -1,0 +1,123 @@
+package kern
+
+import "math/bits"
+
+// matchLanes returns a word with 0x80 in every byte lane of v that
+// equals the broadcast byte bb (bb = ones*c) and 0x00 elsewhere; the
+// result is exact per lane, so it can be popcounted or trailing-zero
+// scanned.
+func matchLanes(v, bb uint64) uint64 {
+	return nonzeroLanes(v^bb) ^ highs
+}
+
+// IndexByte returns the index of the first occurrence of c in p, or -1
+// — memchr, eight bytes per probe. The stdlib's assembly IndexByte only
+// works on whole slices; this one is the building block the other scan
+// kernels share and keeps the package dependency-free.
+func IndexByte(p []byte, c byte) int {
+	bb := ones * uint64(c)
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		if m := matchLanes(load64(p[i:]), bb); m != 0 {
+			return i + bits.TrailingZeros64(m)>>3
+		}
+	}
+	for ; i < len(p); i++ {
+		if p[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// indexByteScalar is IndexByte's scalar reference twin.
+func indexByteScalar(p []byte, c byte) int {
+	for i := 0; i < len(p); i++ {
+		if p[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// IndexAll appends to dst the index of every occurrence of c in p and
+// returns the extended slice — the field-delimitation kernel: one pass
+// over a SAM line yields all tab positions, replacing per-field
+// IndexByte rescans. Matches inside a word drain via trailing-zero
+// iteration, so sparse delimiters cost one popcount-free test per word.
+func IndexAll(dst []int, p []byte, c byte) []int {
+	bb := ones * uint64(c)
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		m := matchLanes(load64(p[i:]), bb)
+		for m != 0 {
+			dst = append(dst, i+bits.TrailingZeros64(m)>>3)
+			m &= m - 1
+		}
+	}
+	for ; i < len(p); i++ {
+		if p[i] == c {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// indexAllScalar is IndexAll's scalar reference twin.
+func indexAllScalar(dst []int, p []byte, c byte) []int {
+	for i := 0; i < len(p); i++ {
+		if p[i] == c {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// CountByte returns the number of occurrences of c in p — the counting
+// kernel behind base tallies and newline counts: one popcount per eight
+// bytes instead of eight compare-and-branch rounds.
+func CountByte(p []byte, c byte) int {
+	bb := ones * uint64(c)
+	n := 0
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		n += bits.OnesCount64(matchLanes(load64(p[i:]), bb))
+	}
+	for ; i < len(p); i++ {
+		if p[i] == c {
+			n++
+		}
+	}
+	return n
+}
+
+// countByteScalar is CountByte's scalar reference twin.
+func countByteScalar(p []byte, c byte) int {
+	n := 0
+	for i := 0; i < len(p); i++ {
+		if p[i] == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Fill sets every byte of p to c, eight per store — the memset behind
+// missing-quality placeholders (0xff in BAM, '!' in FASTQ).
+func Fill(p []byte, c byte) {
+	bb := ones * uint64(c)
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		store64(p[i:], bb)
+	}
+	for ; i < len(p); i++ {
+		p[i] = c
+	}
+}
+
+// fillScalar is Fill's scalar reference twin.
+func fillScalar(p []byte, c byte) {
+	for i := range p {
+		p[i] = c
+	}
+}

@@ -1,0 +1,172 @@
+package kern
+
+// SeqChars is the BAM specification's 4-bit sequence alphabet: code i
+// renders as SeqChars[i].
+const SeqChars = "=ACMGRSVTWYHKDBN"
+
+// seqLo and seqHi hold the alphabet as two register-resident words —
+// codes 0-7 in seqLo, 8-15 in seqHi, one character per little-endian
+// byte lane — so expanding a code is a shift-and-mask on constants
+// instead of a table load ("table-free expansion").
+const (
+	seqLo uint64 = 0x56_53_52_47_4D_43_41_3D // 'V','S','R','G','M','C','A','='
+	seqHi uint64 = 0x4E_42_44_4B_48_59_57_54 // 'N','B','D','K','H','Y','W','T'
+)
+
+// baseCode maps an ASCII base (either case) to its 4-bit code; bytes
+// outside the alphabet map to 15 ('N'), matching the BAM encoder's
+// convention.
+var baseCode = func() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = 15
+	}
+	for i := 0; i < len(SeqChars); i++ {
+		t[SeqChars[i]] = byte(i)
+		t[SeqChars[i]|0x20] = byte(i)
+	}
+	return t
+}()
+
+// spread moves byte k of x to byte lane 2k of the result, leaving the
+// odd lanes zero — half of a byte-granularity interleave.
+func spread(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	return v
+}
+
+// expand8 maps eight 4-bit codes, one per byte lane of v, to their
+// ASCII bases by selecting between the two alphabet words — no memory
+// lookup, so the lane loop is pure register arithmetic.
+func expand8(v uint64) uint64 {
+	var out uint64
+	for k := 0; k < 64; k += 8 {
+		c := (v >> uint(k)) & 0xff
+		m := uint64(int64(c<<60) >> 63) // all-ones when code ≥ 8
+		t := (seqLo &^ m) | (seqHi & m)
+		out |= ((t >> ((c & 7) << 3)) & 0xff) << uint(k)
+	}
+	return out
+}
+
+// seqPair expands a whole packed byte — two 4-bit codes — to its two
+// ASCII bases in one load: base for the high nibble in the low byte
+// (it comes first in the read), base for the low nibble above it,
+// ready to OR into a little-endian word. 512 bytes, permanently
+// cache-resident.
+var seqPair = func() [256]uint16 {
+	var t [256]uint16
+	for b := 0; b < 256; b++ {
+		t[b] = uint16(SeqChars[b>>4]) | uint16(SeqChars[b&0xf])<<8
+	}
+	return t
+}()
+
+// UnpackSeq expands n 4-bit sequence codes packed two per byte in src
+// (high nibble first, as BAM stores them) into ASCII bases in dst.
+// src must hold at least (n+1)/2 bytes and dst at least n. The word
+// path emits sixteen bases per iteration from eight pair-table loads
+// folded into two word stores — one lookup and ~one ALU op per base,
+// against the divide/branch/lookup round trip per base of the scalar
+// form. (A fully table-free variant exists as unpackSeqBitTrick; the
+// pair table wins on scalar cores, see BenchmarkKernUnpackSeqBitTrick.)
+func UnpackSeq(dst, src []byte, n int) {
+	i := 0
+	for ; i+16 <= n; i += 16 {
+		s := src[i>>1 : i>>1+8 : len(src)]
+		store64(dst[i:], uint64(seqPair[s[0]])|uint64(seqPair[s[1]])<<16|
+			uint64(seqPair[s[2]])<<32|uint64(seqPair[s[3]])<<48)
+		store64(dst[i+8:], uint64(seqPair[s[4]])|uint64(seqPair[s[5]])<<16|
+			uint64(seqPair[s[6]])<<32|uint64(seqPair[s[7]])<<48)
+	}
+	for ; i < n; i++ {
+		b := src[i>>1]
+		if i&1 == 0 {
+			b >>= 4
+		}
+		dst[i] = SeqChars[b&0xf]
+	}
+}
+
+// unpackSeqBitTrick is the table-free variant of UnpackSeq: one load
+// per eight packed bytes, a nibble split, two byte interleaves and two
+// register-only alphabet expansions. It holds the same contract (the
+// equivalence tests run it too) but loses to the pair table on scalar
+// cores — the per-lane variable shift in expand8 serializes — so
+// UnpackSeq does not use it; it is kept as the reference SWAR shuffle
+// for a future wide-vector port.
+func unpackSeqBitTrick(dst, src []byte, n int) {
+	i := 0
+	for ; i+16 <= n; i += 16 {
+		w := load64(src[i>>1:])
+		hi := (w >> 4) & 0x0f0f0f0f0f0f0f0f // even bases
+		lo := w & 0x0f0f0f0f0f0f0f0f        // odd bases
+		store64(dst[i:], expand8(spread(uint32(hi))|spread(uint32(lo))<<8))
+		store64(dst[i+8:], expand8(spread(uint32(hi>>32))|spread(uint32(lo>>32))<<8))
+	}
+	for ; i < n; i++ {
+		b := src[i>>1]
+		if i&1 == 0 {
+			b >>= 4
+		}
+		dst[i] = SeqChars[b&0xf]
+	}
+}
+
+// unpackSeqScalar is UnpackSeq's scalar reference twin — the pre-kernel
+// decode loop, one base per iteration.
+func unpackSeqScalar(dst, src []byte, n int) {
+	for i := 0; i < n; i++ {
+		b := src[i/2]
+		if i%2 == 0 {
+			b >>= 4
+		}
+		dst[i] = SeqChars[b&0xf]
+	}
+}
+
+// PackSeq packs the ASCII bases of src two codes per byte into dst
+// (high nibble first); dst must hold at least (len(src)+1)/2 bytes.
+// An odd final base lands in the high nibble of the last byte with the
+// low nibble zero, exactly as the BAM encoder emits it. The word path
+// packs eight bases per iteration behind a single 4-byte store.
+func PackSeq(dst, src []byte) {
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		p := uint32(baseCode[src[i]])<<4 | uint32(baseCode[src[i+1]])
+		p |= (uint32(baseCode[src[i+2]])<<4 | uint32(baseCode[src[i+3]])) << 8
+		p |= (uint32(baseCode[src[i+4]])<<4 | uint32(baseCode[src[i+5]])) << 16
+		p |= (uint32(baseCode[src[i+6]])<<4 | uint32(baseCode[src[i+7]])) << 24
+		dst[i>>1] = byte(p)
+		dst[i>>1+1] = byte(p >> 8)
+		dst[i>>1+2] = byte(p >> 16)
+		dst[i>>1+3] = byte(p >> 24)
+	}
+	for ; i < n; i += 2 {
+		b := baseCode[src[i]] << 4
+		if i+1 < n {
+			b |= baseCode[src[i+1]]
+		}
+		dst[i>>1] = b
+	}
+}
+
+// packSeqScalar is PackSeq's scalar reference twin — the pre-kernel
+// encode loop.
+func packSeqScalar(dst, src []byte) {
+	n := len(src)
+	for i := 0; i < n; i += 2 {
+		b := baseCode[src[i]] << 4
+		if i+1 < n {
+			b |= baseCode[src[i+1]]
+		}
+		dst[i/2] = b
+	}
+}
+
+// BaseCode exposes the ASCII-base → 4-bit code mapping (either case;
+// unknown bytes map to the code of 'N'), so encoders share one table.
+func BaseCode(b byte) byte { return baseCode[b] }

@@ -31,6 +31,65 @@ func TestParseRecordBytesMatchesString(t *testing.T) {
 	}
 }
 
+// TestParseRecordBytesParityTable sweeps accept/reject parity between
+// the native bytes parser and the string parser over the edge shapes
+// the kern-backed fields introduce: signed and boundary TLEN values,
+// bounded-field overflow at and past each maximum, leading zeros long
+// enough to cross an 8-digit word, trailing tabs (the cursor never
+// yields a final empty field) and empty mid-fields.
+func TestParseRecordBytesParityTable(t *testing.T) {
+	lines := []string{
+		// TLEN through strconv.ParseInt's full accept set.
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t-39\t*\t*",
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t+39\t*\t*",
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t-2147483648\t*\t*",
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t2147483647\t*\t*",
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t-2147483649\t*\t*",
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t2147483648\t*\t*",
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t+\t*\t*",
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t-\t*\t*",
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t--1\t*\t*",
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t1_0\t*\t*",
+		// Bounded fields at max and max+1.
+		"q\t65535\tchr1\t7\t30\t*\t*\t0\t0\t*\t*",
+		"q\t65536\tchr1\t7\t30\t*\t*\t0\t0\t*\t*",
+		"q\t0\tchr1\t2147483647\t30\t*\t*\t0\t0\t*\t*",
+		"q\t0\tchr1\t2147483648\t30\t*\t*\t0\t0\t*\t*",
+		"q\t0\tchr1\t7\t255\t*\t*\t0\t0\t*\t*",
+		"q\t0\tchr1\t7\t256\t*\t*\t0\t0\t*\t*",
+		// Leading zeros crossing the 8-digit word boundary.
+		"q\t0\tchr1\t000000000000007\t30\t*\t*\t0\t0\t*\t*",
+		"q\t000000000000000000000000000001\tchr1\t7\t30\t*\t*\t0\t0\t*\t*",
+		// Digit-field junk at word and tail positions.
+		"q\t0\tchr1\t12345678x\t30\t*\t*\t0\t0\t*\t*",
+		"q\t0\tchr1\t1234x678\t30\t*\t*\t0\t0\t*\t*",
+		// Trailing-tab and empty-field shapes.
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t0\t*\t*\t",
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t0\t*\t",
+		"q\t0\t\t7\t30\t*\t*\t0\t0\t*\t*",
+		"\tq\t0\tchr1\t7\t30\t*\t*\t0\t0\t*\t*",
+		// SEQ/QUAL mismatch.
+		"q\t0\tchr1\t7\t30\t*\t*\t0\t0\tACGT\tIII",
+	}
+	for _, line := range lines {
+		want, serr := ParseRecord(line)
+		got, berr := ParseRecordBytes([]byte(line))
+		if (serr == nil) != (berr == nil) {
+			t.Errorf("ParseRecordBytes(%q) err = %v, ParseRecord err = %v", line, berr, serr)
+			continue
+		}
+		if serr != nil {
+			if serr.Error() != berr.Error() {
+				t.Errorf("error wording differs for %q:\n bytes:  %v\n string: %v", line, berr, serr)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ParseRecordBytes(%q) = %+v, want %+v", line, got, want)
+		}
+	}
+}
+
 func TestParseRecordBytesErrorsMatchString(t *testing.T) {
 	bad := []string{
 		"",

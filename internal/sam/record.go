@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"parseq/internal/kern"
 )
 
 // Record is one alignment: the eleven mandatory SAM fields plus optional
@@ -282,38 +284,16 @@ func (r *Record) AppendText(b *strings.Builder) {
 
 // ReverseComplement returns the reverse complement of a nucleotide
 // sequence; ambiguity codes map through the IUPAC complement table and
-// unknown bytes map to 'N'.
+// unknown bytes map to 'N'. The mirror loop runs word-wide in kern.
 func ReverseComplement(seq string) string {
 	out := make([]byte, len(seq))
-	for i := 0; i < len(seq); i++ {
-		out[len(seq)-1-i] = complementTable[seq[i]]
-	}
-	return string(out)
+	kern.ReverseComplement(out, stringBytes(seq))
+	return bytesToString(out)
 }
-
-var complementTable = func() [256]byte {
-	var t [256]byte
-	for i := range t {
-		t[i] = 'N'
-	}
-	pairs := []struct{ a, b byte }{
-		{'A', 'T'}, {'C', 'G'}, {'G', 'C'}, {'T', 'A'}, {'U', 'A'},
-		{'R', 'Y'}, {'Y', 'R'}, {'S', 'S'}, {'W', 'W'}, {'K', 'M'},
-		{'M', 'K'}, {'B', 'V'}, {'V', 'B'}, {'D', 'H'}, {'H', 'D'},
-		{'N', 'N'},
-	}
-	for _, p := range pairs {
-		t[p.a] = p.b
-		t[p.a+'a'-'A'] = p.b + 'a' - 'A'
-	}
-	return t
-}()
 
 // Reverse returns s reversed; used for qualities of reverse-strand reads.
 func Reverse(s string) string {
 	out := make([]byte, len(s))
-	for i := 0; i < len(s); i++ {
-		out[len(s)-1-i] = s[i]
-	}
-	return string(out)
+	kern.Reverse(out, stringBytes(s))
+	return bytesToString(out)
 }
