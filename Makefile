@@ -1,11 +1,12 @@
 # parseq build/test entry points. `make ci` is the gate every change
 # must pass: vet, staticcheck (when installed), formatting, build, the
 # full race-enabled test suite, a one-iteration smoke run of the BGZF
-# codec and obs-overhead benchmarks, and the metrics-schema smoke test.
+# codec and obs-overhead benchmarks, and the metrics-schema and
+# live-endpoint smoke tests.
 
 GO ?= go
 
-.PHONY: all build test race race-decode race-convert race-mpinet race-kern vet staticcheck fmt-check bench-smoke bench-decode bench-convert bench-kern metrics-smoke fuzz-frame fuzz-kern ci
+.PHONY: all build test race race-decode race-convert race-mpinet race-kern race-obs vet staticcheck fmt-check bench-smoke bench-decode bench-convert bench-kern metrics-smoke metrics-endpoint-smoke fuzz-frame fuzz-kern ci
 
 all: build
 
@@ -44,6 +45,13 @@ race-mpinet:
 # race detector's eyes wherever records cross goroutines.
 race-kern:
 	$(GO) test -race -count=1 ./internal/kern ./internal/bam ./internal/sam ./internal/formats ./internal/flagstat ./internal/bed
+
+# Focused race run over the observability plane: the registry and its
+# Prometheus/trace renderers, the cross-rank telemetry gather (channel
+# and TCP transports, including the multi-process /metrics acceptance
+# tests) and the CLI flag plumbing around them.
+race-obs:
+	$(GO) test -race -count=1 ./internal/obs ./internal/mpi ./internal/mpinet ./internal/obsflag
 
 # A short deterministic fuzz pass over the wire-frame decoder: corrupt
 # frames must error, never panic or over-allocate.
@@ -148,5 +156,12 @@ bench-kern:
 metrics-smoke:
 	$(GO) test -run 'TestMetricsSchema' -count=1 ./internal/obsflag
 
-ci: vet staticcheck fmt-check build race race-decode race-convert race-mpinet race-kern bench-smoke metrics-smoke
+# Live-endpoint check: a -metrics-addr session must serve a scrapeable
+# /metrics and /progress and a SIGTERM-killed run must still flush its
+# profiles; the subprocess tests cover the 4-rank gather end to end.
+metrics-endpoint-smoke:
+	$(GO) test -run 'TestMetricsEndpointSmoke|TestSIGTERMFlushesProfiles' -count=1 ./internal/obsflag
+	$(GO) test -run 'TestSubprocessObs' -count=1 ./internal/mpinet
+
+ci: vet staticcheck fmt-check build race race-decode race-convert race-mpinet race-kern race-obs bench-smoke metrics-smoke metrics-endpoint-smoke
 	@echo "ci: all checks passed"

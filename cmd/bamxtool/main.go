@@ -46,6 +46,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bamxtool:", err)
 		}
 	}()
+	if addr := obsSession.ServerAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "bamxtool: serving metrics on http://%s/metrics\n", addr)
+	}
 	cmd, path := args[0], args[1]
 	switch cmd {
 	case "info":

@@ -74,6 +74,12 @@ func main() {
 		die(err)
 	}
 	defer mpiSession.Close()
+	// Distributed runs gather every rank's telemetry behind rank 0's
+	// -metrics-addr endpoint.
+	mpiSession.StartTelemetry(obsSession.View(), obsFlags.Heartbeat)
+	if addr := obsSession.ServerAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "ngsbench: serving metrics on http://%s/metrics\n", addr)
+	}
 	if mpiSession.Distributed() {
 		if err := runDistributed(mpiSession, sc, *tmp, *keep); err != nil {
 			die(err)

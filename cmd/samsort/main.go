@@ -46,6 +46,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "samsort:", err)
 		}
 	}()
+	if addr := obsSession.ServerAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "samsort: serving metrics on http://%s/metrics\n", addr)
+	}
 	opts := sorter.Options{ChunkRecords: *chunk, Cores: *cores, CodecWorkers: *codec, SharedCodec: *shared}
 	var n int64
 	switch {

@@ -64,6 +64,12 @@ func main() {
 		die(err)
 	}
 	defer mpiSession.Close()
+	// Distributed runs ship live metric/span deltas to rank 0, whose
+	// -metrics-addr endpoint then serves the whole world's telemetry.
+	mpiSession.StartTelemetry(obsSession.View(), obsFlags.Heartbeat)
+	if addr := obsSession.ServerAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "seqconvert: serving metrics on http://%s/metrics\n", addr)
+	}
 	// Under TCP the world size is the rank count; every phase of a
 	// distributed run shares the one world, so -pre-p must match too.
 	*cores = mpiSession.Ranks(*cores)

@@ -402,6 +402,7 @@ func convertSAMRangePipelined(samPath string, br partition.ByteRange, h *sam.Hea
 		p.start(io.NewSectionReader(in, br.Start, br.Len()), br.Start)
 	}
 
+	live := newLiveProgress()
 	var firstErr error
 	for b := range p.pipe.Out() {
 		if firstErr == nil {
@@ -412,6 +413,7 @@ func convertSAMRangePipelined(samPath string, br partition.ByteRange, h *sam.Hea
 			}
 			stats.records += b.records
 			stats.emitted += b.emitted
+			live.batch(b.records, int64(len(b.chunk)), int64(len(b.out)))
 			if firstErr == nil {
 				firstErr = b.err
 			}
@@ -477,6 +479,7 @@ func encodeSAMRangeToBAMPipelined(samPath string, br partition.ByteRange, h *sam
 		p.start(io.NewSectionReader(in, br.Start, br.Len()), br.Start)
 	}
 
+	live := newLiveProgress()
 	var n int64
 	var firstErr error
 	for b := range p.pipe.Out() {
@@ -485,6 +488,7 @@ func encodeSAMRangeToBAMPipelined(samPath string, br partition.ByteRange, h *sam
 				firstErr = err
 			}
 			n += b.emitted
+			live.batch(b.records, int64(len(b.chunk)), int64(len(b.out)))
 			if firstErr == nil {
 				firstErr = b.err
 			}

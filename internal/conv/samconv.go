@@ -99,6 +99,7 @@ func ConvertSAM(samPath string, opts Options) (*Result, error) {
 		if err != nil {
 			return err
 		}
+		addBytesTotal(br.Len()) // the /progress ETA denominator
 		csp := ph.Start(c.Rank(), "convert")
 		defer csp.End()
 		stats, err := convertSAMRange(samPath, br, header, enc, &opts, c.Rank())
@@ -154,6 +155,13 @@ func convertSAMRange(samPath string, br partition.ByteRange, h *sam.Header,
 	}
 
 	scan := newLineScanner(section, br.Start)
+	live := newLiveProgress()
+	var flushed struct{ records, bytesIn, bytesOut int64 }
+	flush := func() {
+		live.batch(stats.records-flushed.records, scan.pos-flushed.bytesIn, w.n-flushed.bytesOut)
+		flushed.records, flushed.bytesIn, flushed.bytesOut = stats.records, scan.pos, w.n
+	}
+	defer flush()
 	var rec sam.Record
 	var out []byte
 	for scan.Scan() {
@@ -166,6 +174,10 @@ func convertSAMRange(samPath string, br partition.ByteRange, h *sam.Header,
 			return stats, err
 		}
 		stats.records++
+		// Periodic flush keeps /progress live without an atomic per line.
+		if stats.records%liveFlushEvery == 0 {
+			flush()
+		}
 		var emitted bool
 		out, emitted, err = w.emit(out, &rec, h)
 		if err != nil {

@@ -51,6 +51,7 @@ func ConvertSAMToBAM(samPath string, opts Options) (*Result, error) {
 		if err != nil {
 			return err
 		}
+		addBytesTotal(br.Len()) // the /progress ETA denominator
 		csp := ph.Start(c.Rank(), "convert")
 		defer csp.End()
 		outPath := filepath.Join(opts.OutDir, fmt.Sprintf("%s_p%03d.bam", opts.OutPrefix, c.Rank()))
@@ -102,6 +103,13 @@ func encodeSAMRangeToBAM(samPath string, br partition.ByteRange, h *sam.Header, 
 	n := int64(0)
 	var rec sam.Record
 	scan := newLineScanner(io.NewSectionReader(in, br.Start, br.Len()), br.Start)
+	live := newLiveProgress()
+	var flushedN, flushedIn int64
+	flush := func() {
+		live.batch(n-flushedN, scan.pos-flushedIn, 0)
+		flushedN, flushedIn = n, scan.pos
+	}
+	defer flush()
 	for scan.Scan() {
 		line := scan.Text()
 		if line == "" {
@@ -117,7 +125,9 @@ func encodeSAMRangeToBAM(samPath string, br partition.ByteRange, h *sam.Header, 
 			out.Close()
 			return 0, 0, err
 		}
-		n++
+		if n++; n%liveFlushEvery == 0 {
+			flush()
+		}
 	}
 	if err := scan.Err(); err != nil {
 		bw.Close()

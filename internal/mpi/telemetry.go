@@ -1,0 +1,185 @@
+// Out-of-band telemetry over a Transport. Normal Send/Recv traffic is
+// tag-checked and ordered — injecting monitoring messages into it would
+// corrupt the rank algorithms — so transports that support live
+// observability expose a dedicated side channel: workers ship compact
+// obs.Delta payloads (metrics snapshot + recent trace spans +
+// heartbeat) to rank 0, which folds them into an obs.WorldView behind
+// its /metrics endpoint. Delivery is best-effort by design: a full
+// inbox drops the frame rather than ever blocking the data path.
+package mpi
+
+import (
+	"sync"
+	"time"
+
+	"parseq/internal/obs"
+)
+
+// TelemetryFrame is one rank's raw telemetry shipment as seen by rank 0.
+type TelemetryFrame struct {
+	From int
+	Data []byte
+}
+
+// TelemetryCarrier is the optional transport side channel. SendTelemetry
+// ships bytes from any rank to rank 0 without touching the ordered data
+// stream; it must never block on a slow consumer (drop instead).
+// Telemetry returns rank 0's receive channel (workers may return nil).
+type TelemetryCarrier interface {
+	SendTelemetry(data []byte) error
+	Telemetry() <-chan TelemetryFrame
+}
+
+// ClockSyncer is the optional clock-offset probe: transports whose ranks
+// run on different hosts estimate this rank's offset against rank 0's
+// clock (offset = rank-0 time − local time at the same instant) from
+// ping/pong round trips, NTP style. Transports sharing one clock return
+// zero.
+type ClockSyncer interface {
+	ClockSync(samples int) (offset, rtt time.Duration, err error)
+}
+
+// TelemetryOptions configure StartTelemetry.
+type TelemetryOptions struct {
+	// Registry is the local metrics registry (default obs.Default()).
+	Registry *obs.Registry
+	// View receives every rank's deltas on rank 0 (ignored elsewhere).
+	// Nil on rank 0 makes the gather receive-and-discard.
+	View *obs.WorldView
+	// Interval is the shipping/heartbeat period (default 1s).
+	Interval time.Duration
+	// ClockSamples is the number of ping/pong round trips per offset
+	// estimate (default 4).
+	ClockSamples int
+}
+
+func (o TelemetryOptions) withDefaults() TelemetryOptions {
+	if o.Registry == nil {
+		o.Registry = obs.Default()
+	}
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.ClockSamples <= 0 {
+		o.ClockSamples = 4
+	}
+	return o
+}
+
+// clockResyncEvery re-estimates the clock offset every N shipping ticks,
+// tracking drift without paying round trips on every heartbeat.
+const clockResyncEvery = 30
+
+// Telemetry is a running telemetry loop; Stop ships a final delta (so
+// short runs report complete numbers) and waits for the loop to exit.
+type Telemetry struct {
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Stop terminates the loop after its final shipment. Safe to call more
+// than once and on nil.
+func (t *Telemetry) Stop() {
+	if t == nil {
+		return
+	}
+	t.stopOnce.Do(func() { close(t.stop) })
+	<-t.done
+}
+
+// StartTelemetry begins the cross-rank telemetry gather on transport t.
+// Workers ship deltas of their registry to rank 0 every interval; rank 0
+// drains the carrier into opts.View and also applies its own local
+// delta, so the world picture includes rank 0 itself. On transports
+// without a TelemetryCarrier only the local rank-0 loop runs. Returns
+// nil when no registry is available (telemetry disabled).
+func StartTelemetry(t Transport, opts TelemetryOptions) *Telemetry {
+	opts = opts.withDefaults()
+	if opts.Registry == nil {
+		return nil
+	}
+	h := &Telemetry{stop: make(chan struct{}), done: make(chan struct{})}
+	carrier, _ := t.(TelemetryCarrier)
+	if t.Rank() == 0 {
+		go h.runRoot(t, carrier, opts)
+	} else {
+		if carrier == nil {
+			close(h.done)
+			return h
+		}
+		go h.runWorker(t, carrier, opts)
+	}
+	return h
+}
+
+// runRoot drains workers' deltas into the view and periodically applies
+// rank 0's own.
+func (h *Telemetry) runRoot(t Transport, carrier TelemetryCarrier, opts TelemetryOptions) {
+	defer close(h.done)
+	shipper := obs.NewDeltaShipper(opts.Registry, 0)
+	apply := func(final bool) {
+		opts.View.Apply(shipper.Next(0, 0, final))
+	}
+	apply(false)
+	var inbox <-chan TelemetryFrame
+	if carrier != nil {
+		inbox = carrier.Telemetry()
+	}
+	tick := time.NewTicker(opts.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-h.stop:
+			apply(true)
+			return
+		case f, ok := <-inbox:
+			if !ok {
+				inbox = nil
+				continue
+			}
+			if d, err := obs.DecodeDelta(f.Data); err == nil {
+				opts.View.Apply(d)
+			}
+		case <-tick.C:
+			apply(false)
+			opts.View.Refresh()
+		}
+	}
+}
+
+// runWorker ships this rank's deltas to rank 0, re-estimating the clock
+// offset at start and every clockResyncEvery ticks.
+func (h *Telemetry) runWorker(t Transport, carrier TelemetryCarrier, opts TelemetryOptions) {
+	defer close(h.done)
+	shipper := obs.NewDeltaShipper(opts.Registry, t.Rank())
+	var offset, rtt time.Duration
+	sync := func() {
+		if cs, ok := t.(ClockSyncer); ok {
+			if off, r, err := cs.ClockSync(opts.ClockSamples); err == nil {
+				offset, rtt = off, r
+			}
+		}
+	}
+	ship := func(final bool) {
+		if data, err := obs.EncodeDelta(shipper.Next(offset, rtt, final)); err == nil {
+			carrier.SendTelemetry(data)
+		}
+	}
+	sync()
+	ship(false)
+	tick := time.NewTicker(opts.Interval)
+	defer tick.Stop()
+	for n := 0; ; {
+		select {
+		case <-h.stop:
+			ship(true)
+			return
+		case <-tick.C:
+			if n++; n%clockResyncEvery == 0 {
+				sync()
+			}
+			ship(false)
+		}
+	}
+}

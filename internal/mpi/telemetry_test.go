@@ -1,0 +1,155 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"parseq/internal/obs"
+)
+
+func noWarn(string, ...any) {}
+
+// TestTelemetryGatherChannelTransport runs a 4-rank in-process world
+// where every rank ships deltas of its own registry; rank 0's view must
+// end up knowing all four ranks and their progress counters.
+func TestTelemetryGatherChannelTransport(t *testing.T) {
+	const size = 4
+	var (
+		mu   sync.Mutex
+		view *obs.WorldView
+	)
+	err := Run(size, func(c *Comm) error {
+		reg := obs.New()
+		reg.Counter("conv.records").Add(int64(100 * (c.Rank() + 1)))
+
+		var v *obs.WorldView
+		if c.Rank() == 0 {
+			v = obs.NewWorldView(reg, obs.WorldViewOptions{Warnf: noWarn})
+			mu.Lock()
+			view = v
+			mu.Unlock()
+		}
+		tel := StartTelemetry(c.Transport(), TelemetryOptions{
+			Registry: reg,
+			View:     v,
+			Interval: 2 * time.Millisecond,
+		})
+		defer tel.Stop()
+
+		if c.Rank() == 0 {
+			deadline := time.Now().Add(10 * time.Second)
+			for len(v.Ranks()) < size {
+				if time.Now().After(deadline) {
+					t.Errorf("rank 0 saw only %d/%d ranks", len(v.Ranks()), size)
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		// Workers keep shipping heartbeats until rank 0 has seen everyone.
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ranks := view.Ranks()
+	if len(ranks) != size {
+		t.Fatalf("view knows %d ranks, want %d", len(ranks), size)
+	}
+	for i, rs := range ranks {
+		if rs.Rank != i {
+			t.Fatalf("ranks[%d].Rank = %d", i, rs.Rank)
+		}
+		if want := int64(100 * (i + 1)); rs.Progress != want {
+			t.Errorf("rank %d progress = %d, want %d", i, rs.Progress, want)
+		}
+		if !rs.Up {
+			t.Errorf("rank %d marked down in a live world", i)
+		}
+		if rs.Host == "" {
+			t.Errorf("rank %d shipped no host label", i)
+		}
+	}
+}
+
+// TestTelemetryStopShipsFinalDelta verifies a worker's Stop flushes the
+// counters it accumulated after its last heartbeat.
+func TestTelemetryStopShipsFinalDelta(t *testing.T) {
+	const size = 2
+	var (
+		mu   sync.Mutex
+		view *obs.WorldView
+	)
+	err := Run(size, func(c *Comm) error {
+		reg := obs.New()
+		var v *obs.WorldView
+		if c.Rank() == 0 {
+			v = obs.NewWorldView(reg, obs.WorldViewOptions{Warnf: noWarn})
+			mu.Lock()
+			view = v
+			mu.Unlock()
+		}
+		// A long interval so only the initial and final shipments happen.
+		tel := StartTelemetry(c.Transport(), TelemetryOptions{
+			Registry: reg,
+			View:     v,
+			Interval: time.Minute,
+		})
+		if c.Rank() == 1 {
+			reg.Counter("conv.records").Add(42)
+			tel.Stop() // ships the final delta carrying the 42
+			return c.Barrier()
+		}
+		// Rank 0 waits for the worker's final delta to land.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			ranks := v.Ranks()
+			if len(ranks) == 2 && ranks[1].Progress == 42 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("final delta never landed: %+v", ranks)
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		tel.Stop()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := view.Ranks()
+	if len(ranks) != 2 || ranks[1].Progress != 42 {
+		t.Fatalf("world after final delta = %+v", ranks)
+	}
+}
+
+// TestTelemetryWithoutCarrier exercises a transport that has no side
+// channel: worker telemetry degrades to an inert handle, and Stop is
+// still safe.
+func TestTelemetryWithoutCarrier(t *testing.T) {
+	tr := &plainTransport{rank: 1, size: 2}
+	tel := StartTelemetry(tr, TelemetryOptions{Registry: obs.New()})
+	tel.Stop()
+	tel.Stop() // idempotent
+	var nilTel *Telemetry
+	nilTel.Stop() // nil-safe
+}
+
+// plainTransport implements Transport but not TelemetryCarrier.
+type plainTransport struct {
+	rank, size int
+}
+
+func (p *plainTransport) Rank() int                           { return p.rank }
+func (p *plainTransport) Size() int                           { return p.size }
+func (p *plainTransport) Send(to, tag int, data []byte) error { return nil }
+func (p *plainTransport) Recv(from int) (int, []byte, error)  { return 0, nil, nil }
+func (p *plainTransport) Barrier() error                      { return nil }
+func (p *plainTransport) Abort()                              {}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Transport is the wire underneath a Comm: point-to-point byte delivery,
@@ -46,6 +47,10 @@ type chanWorld struct {
 	size  int
 	chans [][]chan message // chans[from][to]
 
+	// telemetry is the out-of-band side channel (TelemetryCarrier):
+	// buffered, drop-on-full, never part of the ordered data stream.
+	telemetry chan TelemetryFrame
+
 	abortOnce sync.Once
 	abort     chan struct{}
 
@@ -56,7 +61,11 @@ type chanWorld struct {
 }
 
 func newChanWorld(size int) *chanWorld {
-	w := &chanWorld{size: size, abort: make(chan struct{})}
+	w := &chanWorld{
+		size:      size,
+		telemetry: make(chan TelemetryFrame, telemetryDepth),
+		abort:     make(chan struct{}),
+	}
 	w.barrierCond = sync.NewCond(&w.barrierMu)
 	w.chans = make([][]chan message, size)
 	for i := range w.chans {
@@ -116,6 +125,33 @@ func (t *chanTransport) Recv(from int) (int, []byte, error) {
 	case <-t.w.abort:
 		return 0, nil, ErrAborted
 	}
+}
+
+// telemetryDepth buffers the side channel deeply enough that a busy
+// rank 0 rarely costs a heartbeat; overflow drops (telemetry is
+// best-effort, the data path must never feel it).
+const telemetryDepth = 256
+
+// SendTelemetry implements TelemetryCarrier: best-effort delivery to
+// the world's shared telemetry channel.
+func (t *chanTransport) SendTelemetry(data []byte) error {
+	if t.w.aborted() {
+		return ErrAborted
+	}
+	f := TelemetryFrame{From: t.rank, Data: append([]byte(nil), data...)}
+	select {
+	case t.w.telemetry <- f:
+	default: // full inbox: drop rather than block
+	}
+	return nil
+}
+
+// Telemetry implements TelemetryCarrier: rank 0's receive channel.
+func (t *chanTransport) Telemetry() <-chan TelemetryFrame { return t.w.telemetry }
+
+// ClockSync implements ClockSyncer: in-process ranks share one clock.
+func (t *chanTransport) ClockSync(samples int) (offset, rtt time.Duration, err error) {
+	return 0, 0, nil
 }
 
 func (t *chanTransport) Barrier() error {

@@ -20,9 +20,11 @@ package mpiflag
 import (
 	"flag"
 	"fmt"
+	"time"
 
 	"parseq/internal/mpi"
 	"parseq/internal/mpinet"
+	"parseq/internal/obs"
 )
 
 // Flags holds the parsed transport flag values.
@@ -53,7 +55,8 @@ func Register(fs *flag.FlagSet) *Flags {
 // in-process session has a nil world; every method tolerates it, so
 // callers use one code path for both transports.
 type Session struct {
-	world *mpinet.World
+	world     *mpinet.World
+	telemetry *mpi.Telemetry
 }
 
 // Connect validates the flags and, for the TCP transport, performs the
@@ -115,13 +118,32 @@ func (s *Session) Launcher() mpi.Launcher {
 	return s.world.Launcher()
 }
 
-// Close tears the world down: a clean goodbye to the peers, then the
-// connections (TCP delivers any in-flight frames before the goodbye,
-// so a peer mid-collective is not disturbed). Safe on the in-process
-// session.
+// StartTelemetry begins the cross-rank telemetry gather over the TCP
+// world: this rank ships metric/span deltas and heartbeats to rank 0
+// every interval (≤ 0 picks the default), and rank 0 folds every
+// rank's deltas into view — the world picture behind its /metrics and
+// /trace endpoints. A no-op in-process (one process already holds the
+// whole world's registry) or when telemetry is disabled. The returned
+// handle's Stop ships a final delta; Close calls it too.
+func (s *Session) StartTelemetry(view *obs.WorldView, interval time.Duration) *mpi.Telemetry {
+	if s.world == nil {
+		return nil
+	}
+	s.telemetry = mpi.StartTelemetry(s.world, mpi.TelemetryOptions{
+		View:     view,
+		Interval: interval,
+	})
+	return s.telemetry
+}
+
+// Close tears the world down: the telemetry loop's final shipment, a
+// clean goodbye to the peers, then the connections (TCP delivers any
+// in-flight frames before the goodbye, so a peer mid-collective is not
+// disturbed). Safe on the in-process session.
 func (s *Session) Close() error {
 	if s.world == nil {
 		return nil
 	}
+	s.telemetry.Stop()
 	return s.world.Close()
 }

@@ -35,6 +35,9 @@ const (
 	kindHello                        // mesh link identification
 	kindReady                        // worker → root: mesh links established
 	kindStart                        // root → worker: the world is complete
+	kindTelemetry                    // worker → root: out-of-band telemetry delta
+	kindClockPing                    // worker → root: body = sender's send timestamp
+	kindClockPong                    // root → worker: body = echoed t0 + root receive time
 	kindMax                          // first invalid kind
 )
 

@@ -23,6 +23,7 @@ package mpinet
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -105,19 +106,23 @@ type netObs struct {
 	framesOut, framesIn *obs.Counter
 	dialRetries         *obs.Counter
 	aborts              *obs.Counter
+	telemFrames         *obs.Counter
+	telemDropped        *obs.Counter
 	sendNS, recvWaitNS  *obs.Histogram
 }
 
 func newNetObs(reg *obs.Registry) *netObs {
 	return &netObs{
-		bytesOut:    reg.Counter("mpinet.bytes_out"),
-		bytesIn:     reg.Counter("mpinet.bytes_in"),
-		framesOut:   reg.Counter("mpinet.frames_out"),
-		framesIn:    reg.Counter("mpinet.frames_in"),
-		dialRetries: reg.Counter("mpinet.dial_retries"),
-		aborts:      reg.Counter("mpinet.aborts"),
-		sendNS:      reg.Histogram("mpinet.send_ns"),
-		recvWaitNS:  reg.Histogram("mpinet.recv_wait_ns"),
+		bytesOut:     reg.Counter("mpinet.bytes_out"),
+		bytesIn:      reg.Counter("mpinet.bytes_in"),
+		framesOut:    reg.Counter("mpinet.frames_out"),
+		framesIn:     reg.Counter("mpinet.frames_in"),
+		dialRetries:  reg.Counter("mpinet.dial_retries"),
+		aborts:       reg.Counter("mpinet.aborts"),
+		telemFrames:  reg.Counter("mpinet.telemetry_frames"),
+		telemDropped: reg.Counter("mpinet.telemetry_dropped"),
+		sendNS:       reg.Histogram("mpinet.send_ns"),
+		recvWaitNS:   reg.Histogram("mpinet.recv_wait_ns"),
 	}
 }
 
@@ -156,6 +161,13 @@ type World struct {
 	barEnter chan frame // root: workers' barrier arrivals
 	barGo    chan frame // workers: root's releases
 
+	// The out-of-band observability side channel (mpi.TelemetryCarrier /
+	// mpi.ClockSyncer): telemetry deltas and clock probes never touch the
+	// ordered data stream, and a full telemetry inbox drops frames rather
+	// than ever stalling readLoop.
+	telemCh chan mpi.TelemetryFrame
+	pongCh  chan []byte
+
 	o *netObs // nil when telemetry is disabled
 }
 
@@ -169,6 +181,8 @@ func newWorld(cfg Config, conns []net.Conn) *World {
 		abortCh:  make(chan struct{}),
 		barEnter: make(chan frame, cfg.World),
 		barGo:    make(chan frame, 1),
+		telemCh:  make(chan mpi.TelemetryFrame, telemetryDepth),
+		pongCh:   make(chan []byte, 4),
 	}
 	if reg := obs.Default(); reg != nil {
 		w.o = newNetObs(reg)
@@ -488,6 +502,45 @@ func (w *World) readLoop(p *peer) {
 			case <-w.abortCh:
 				return
 			}
+		case kindTelemetry:
+			if w.rank != 0 {
+				w.abortWith(fmt.Errorf("mpinet: telemetry from rank %d reached non-root rank %d", f.from, w.rank), true)
+				return
+			}
+			select {
+			case w.telemCh <- mpi.TelemetryFrame{From: f.from, Data: f.body}:
+				if w.o != nil {
+					w.o.telemFrames.Add(1)
+				}
+			default:
+				if w.o != nil {
+					w.o.telemDropped.Add(1)
+				}
+			}
+		case kindClockPing:
+			if w.rank != 0 {
+				w.abortWith(fmt.Errorf("mpinet: clock ping from rank %d reached non-root rank %d", f.from, w.rank), true)
+				return
+			}
+			// Echo t0 plus our receive time immediately — the worker's
+			// offset math assumes the reply leaves as close to now as the
+			// write lock allows; its min-RTT filter discards slow echoes.
+			if len(f.body) == 8 {
+				t1 := time.Now().UnixNano()
+				var body [16]byte
+				copy(body[:8], f.body)
+				binary.BigEndian.PutUint64(body[8:], uint64(t1))
+				w.writePeer(p, kindClockPong, 0, body[:]) // best effort
+			}
+		case kindClockPong:
+			if p.rank != 0 {
+				w.abortWith(fmt.Errorf("mpinet: clock pong from non-root rank %d", p.rank), true)
+				return
+			}
+			select {
+			case w.pongCh <- f.body:
+			default: // a stale probe nobody is waiting for
+			}
 		case kindAbort:
 			w.abortWith(mpi.ErrAborted, false)
 			return
@@ -498,6 +551,108 @@ func (w *World) readLoop(p *peer) {
 			return
 		}
 	}
+}
+
+// telemetryDepth buffers rank 0's telemetry inbox: deep enough that one
+// slow scrape rarely costs a heartbeat, and overflow drops (counted as
+// mpinet.telemetry_dropped) instead of stalling readLoop.
+const telemetryDepth = 256
+
+// SendTelemetry implements mpi.TelemetryCarrier: best-effort delivery
+// of one telemetry payload to rank 0's side channel. A write failure is
+// returned but never aborts the world — if the link is truly dead the
+// data path will discover it.
+func (w *World) SendTelemetry(data []byte) error {
+	if w.isAborted() {
+		return mpi.ErrAborted
+	}
+	if w.rank == 0 {
+		f := mpi.TelemetryFrame{From: 0, Data: append([]byte(nil), data...)}
+		select {
+		case w.telemCh <- f:
+			if w.o != nil {
+				w.o.telemFrames.Add(1)
+			}
+		default:
+			if w.o != nil {
+				w.o.telemDropped.Add(1)
+			}
+		}
+		return nil
+	}
+	p := w.peers[0]
+	if p == nil {
+		return fmt.Errorf("mpinet: no link to rank 0")
+	}
+	if err := w.writePeer(p, kindTelemetry, 0, data); err != nil {
+		return fmt.Errorf("mpinet: shipping telemetry: %w", err)
+	}
+	if w.o != nil {
+		w.o.telemFrames.Add(1)
+	}
+	return nil
+}
+
+// Telemetry implements mpi.TelemetryCarrier: rank 0's receive channel.
+func (w *World) Telemetry() <-chan mpi.TelemetryFrame { return w.telemCh }
+
+// clockSyncTimeout bounds one ping/pong round trip; on a LAN real trips
+// are microseconds, so an expiry means the probe or its echo was lost.
+const clockSyncTimeout = 5 * time.Second
+
+// ClockSync implements mpi.ClockSyncer: estimate this rank's clock
+// offset against rank 0 from `samples` ping/pong round trips, keeping
+// the minimum-RTT sample (the one least distorted by queueing). Offset
+// is rank-0 time minus local time; rank 0 itself reports zero.
+func (w *World) ClockSync(samples int) (offset, rtt time.Duration, err error) {
+	if w.rank == 0 || w.size == 1 {
+		return 0, 0, nil
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	p := w.peers[0]
+	if p == nil {
+		return 0, 0, fmt.Errorf("mpinet: no link to rank 0")
+	}
+	bestRTT := int64(-1)
+	var bestOff int64
+	for i := 0; i < samples; i++ {
+		t0 := time.Now().UnixNano()
+		var body [8]byte
+		binary.BigEndian.PutUint64(body[:], uint64(t0))
+		if werr := w.writePeer(p, kindClockPing, 0, body[:]); werr != nil {
+			return 0, 0, fmt.Errorf("mpinet: clock ping: %w", werr)
+		}
+		deadline := time.NewTimer(clockSyncTimeout)
+	waitPong:
+		for {
+			select {
+			case pong := <-w.pongCh:
+				if len(pong) != 16 || binary.BigEndian.Uint64(pong[:8]) != uint64(t0) {
+					continue // stale echo from an earlier probe
+				}
+				t3 := time.Now().UnixNano()
+				t1 := int64(binary.BigEndian.Uint64(pong[8:]))
+				r := t3 - t0
+				if bestRTT < 0 || r < bestRTT {
+					bestRTT = r
+					bestOff = t1 - (t0+t3)/2
+				}
+				break waitPong
+			case <-w.abortCh:
+				deadline.Stop()
+				return 0, 0, mpi.ErrAborted
+			case <-deadline.C:
+				break waitPong // lost probe; try the next sample
+			}
+		}
+		deadline.Stop()
+	}
+	if bestRTT < 0 {
+		return 0, 0, fmt.Errorf("mpinet: clock sync got no echo from rank 0")
+	}
+	return time.Duration(bestOff), time.Duration(bestRTT), nil
 }
 
 // Close tears the world down. On a clean run it announces the shutdown
@@ -547,9 +702,19 @@ func kindName(k byte) string {
 		return "ready"
 	case kindStart:
 		return "start"
+	case kindTelemetry:
+		return "telemetry"
+	case kindClockPing:
+		return "clock-ping"
+	case kindClockPong:
+		return "clock-pong"
 	}
 	return fmt.Sprintf("kind%d", k)
 }
 
 // interface conformance
-var _ mpi.Transport = (*World)(nil)
+var (
+	_ mpi.Transport        = (*World)(nil)
+	_ mpi.TelemetryCarrier = (*World)(nil)
+	_ mpi.ClockSyncer      = (*World)(nil)
+)

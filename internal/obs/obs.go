@@ -214,6 +214,17 @@ func New() *Registry {
 	}
 }
 
+// EpochWallNS returns the registry's epoch — the wall-clock instant its
+// relative span timestamps count from — as Unix nanoseconds. The
+// cross-rank trace merge uses it to put every rank's spans on one
+// absolute timeline before clock-offset correction.
+func (r *Registry) EpochWallNS() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.start.UnixNano()
+}
+
 // EnableTracing attaches a span tracer keeping up to eventsPerPID events
 // in each process's ring buffer (≤ 0 selects a default of 16384).
 func (r *Registry) EnableTracing(eventsPerPID int) {

@@ -1,0 +1,239 @@
+// Prometheus/OpenMetrics text exposition of a Registry snapshot. The
+// live observability plane serves this from /metrics: counters, gauges
+// (with high-water marks), histograms (cumulative buckets plus
+// estimated p50/p95/p99), derived rates, phase aggregates — and, when a
+// cross-rank WorldView is attached, the same series re-exposed once per
+// rank under rank/host labels, so one scrape of rank 0 sees the whole
+// world.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promName maps a dot-separated metric name onto the Prometheus name
+// charset: dots and dashes become underscores, anything else outside
+// [a-zA-Z0-9_:] is dropped to an underscore too.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promWriter accumulates one exposition document. TYPE/HELP headers are
+// emitted once per metric name even when the same series repeats with
+// different label sets (the world view re-exposes every rank's copy).
+type promWriter struct {
+	w     io.Writer
+	typed map[string]bool
+	err   error
+}
+
+func newPromWriter(w io.Writer) *promWriter {
+	return &promWriter{w: w, typed: make(map[string]bool)}
+}
+
+func (pw *promWriter) printf(format string, args ...any) {
+	if pw.err != nil {
+		return
+	}
+	_, pw.err = fmt.Fprintf(pw.w, format, args...)
+}
+
+// header emits the HELP/TYPE pair for name (pre-sanitised) once. The
+// help string comes from the canonical inventory when the raw name is
+// listed there.
+func (pw *promWriter) header(promN, rawName, typ string) {
+	if pw.typed[promN] {
+		return
+	}
+	pw.typed[promN] = true
+	if info, ok := MetricHelp(rawName); ok && info.Help != "" {
+		pw.printf("# HELP %s %s\n", promN, info.Help)
+	}
+	pw.printf("# TYPE %s %s\n", promN, typ)
+}
+
+// sample emits one sample line. labels is either empty or a
+// pre-rendered `k="v",k2="v2"` list.
+func (pw *promWriter) sample(promN, labels string, v float64) {
+	val := strconv.FormatFloat(v, 'g', -1, 64)
+	if labels == "" {
+		pw.printf("%s %s\n", promN, val)
+		return
+	}
+	pw.printf("%s{%s} %s\n", promN, labels, val)
+}
+
+// joinLabels merges a base label list with one extra label expression.
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	if extra == "" {
+		return base
+	}
+	return base + "," + extra
+}
+
+// histQuantile estimates quantile q from the exported power-of-two
+// buckets: the upper bound of the first bucket whose cumulative count
+// reaches q·total, clamped to the observed min/max.
+func histQuantile(h HistogramValue, q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := q * float64(h.Count)
+	cum := int64(0)
+	est := float64(h.Max)
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if float64(cum) >= target {
+			if b.Le < 0 {
+				est = float64(h.Max)
+			} else {
+				est = float64(b.Le)
+			}
+			break
+		}
+	}
+	if est < float64(h.Min) {
+		est = float64(h.Min)
+	}
+	if est > float64(h.Max) {
+		est = float64(h.Max)
+	}
+	return est
+}
+
+// writeSnapshot renders every series of one snapshot under the given
+// base labels ("" for the local process).
+func (pw *promWriter) writeSnapshot(s *Snapshot, labels string) {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		pw.header(p, n, "counter")
+		pw.sample(p, labels, float64(s.Counters[n]))
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := s.Gauges[n]
+		p := promName(n)
+		pw.header(p, n, "gauge")
+		pw.sample(p, labels, float64(g.Value))
+		pm := p + "_max"
+		pw.header(pm, "", "gauge")
+		pw.sample(pm, labels, float64(g.Max))
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		p := promName(n)
+		pw.header(p, n, "histogram")
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if b.Le >= 0 {
+				le = strconv.FormatInt(b.Le, 10)
+			}
+			pw.sample(p+"_bucket", joinLabels(labels, `le="`+le+`"`), float64(cum))
+		}
+		if cum < h.Count {
+			// All-empty or elided tail: close the histogram regardless.
+			cum = h.Count
+		}
+		pw.sample(p+"_bucket", joinLabels(labels, `le="+Inf"`), float64(cum))
+		pw.sample(p+"_sum", labels, float64(h.Sum))
+		pw.sample(p+"_count", labels, float64(h.Count))
+		for _, q := range []struct {
+			suffix string
+			q      float64
+		}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}} {
+			pq := p + q.suffix
+			pw.header(pq, "", "gauge")
+			pw.sample(pq, labels, histQuantile(h, q.q))
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Derived {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		pw.header(p, n, "gauge")
+		pw.sample(p, labels, s.Derived[n])
+	}
+
+	names = names[:0]
+	for n := range s.Phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ph := s.Phases[n]
+		lbl := joinLabels(labels, `phase="`+promEscape(n)+`"`)
+		pw.header("phase_wall_ns", "", "gauge")
+		pw.sample("phase_wall_ns", lbl, float64(ph.WallNS))
+		pw.header("phase_total_ns", "", "gauge")
+		pw.sample("phase_total_ns", lbl, float64(ph.TotalNS))
+		pw.header("phase_spans", "", "gauge")
+		pw.sample("phase_spans", lbl, float64(ph.Count))
+	}
+
+	pw.header("process_uptime_seconds", "", "gauge")
+	pw.sample("process_uptime_seconds", labels, float64(s.WallNS)/1e9)
+}
+
+// WritePromText exports the registry's current snapshot in Prometheus
+// text exposition format — the /metrics payload for a single process.
+func (r *Registry) WritePromText(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: no registry")
+	}
+	s := r.Snapshot()
+	pw := newPromWriter(w)
+	pw.writeSnapshot(&s, "")
+	return pw.err
+}

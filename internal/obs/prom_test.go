@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromNameSanitises(t *testing.T) {
+	cases := map[string]string{
+		"conv.records":               "conv_records",
+		"parpipe.bgzf.deflate.items": "parpipe_bgzf_deflate_items",
+		"go.goroutines":              "go_goroutines",
+		"weird-name.with space":      "weird_name_with_space",
+		"9lives":                     "_9lives",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	if got := promEscape(`a"b\c` + "\n"); got != `a\"b\\c\n` {
+		t.Errorf("promEscape = %q", got)
+	}
+}
+
+func TestWritePromTextExposition(t *testing.T) {
+	r := New()
+	r.Counter("conv.records").Add(1234)
+	r.Gauge("world.size").Set(4)
+	h := r.Histogram("mpinet.send_ns")
+	for _, v := range []int64{1500, 3000, 3000, 1 << 20} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePromText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE conv_records counter",
+		"conv_records 1234",
+		"# TYPE world_size gauge",
+		"world_size 4",
+		"# TYPE mpinet_send_ns histogram",
+		`mpinet_send_ns_bucket{le="+Inf"} 4`,
+		"mpinet_send_ns_count 4",
+		"mpinet_send_ns_sum 1.056076e+06",
+		"# TYPE mpinet_send_ns_p50 gauge",
+		"process_uptime_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// HELP lines come from the canonical inventory.
+	if !strings.Contains(out, "# HELP conv_records ") {
+		t.Errorf("no HELP for conv_records:\n%s", out)
+	}
+	// Buckets must be cumulative: the +Inf bucket equals the count, and
+	// every le bucket is ≤ it.
+	if strings.Count(out, "# TYPE conv_records counter") != 1 {
+		t.Error("duplicate TYPE header")
+	}
+}
+
+func TestPromHeadersNotDuplicatedAcrossLabelSets(t *testing.T) {
+	r := New()
+	r.Counter("conv.records").Add(1)
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+
+	var buf bytes.Buffer
+	pw := newPromWriter(&buf)
+	pw.writeSnapshot(&s1, "")
+	pw.writeSnapshot(&s2, `rank="1",host="h"`)
+	if pw.err != nil {
+		t.Fatal(pw.err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE conv_records counter") != 1 {
+		t.Errorf("TYPE header repeated:\n%s", out)
+	}
+	if !strings.Contains(out, `conv_records{rank="1",host="h"} 1`) {
+		t.Errorf("labeled sample missing:\n%s", out)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	// 100 observations: 50 in a bucket bounded at 2048, 50 bounded at 8192.
+	h := HistogramValue{
+		Count: 100, Min: 1500, Max: 8000,
+		Buckets: []HistogramBucket{{Le: 2048, Count: 50}, {Le: 8192, Count: 50}},
+	}
+	if q := histQuantile(h, 0.25); q != 2048 {
+		t.Errorf("p25 = %v, want 2048", q)
+	}
+	if q := histQuantile(h, 0.95); q != 8000 {
+		t.Errorf("p95 = %v, want clamped max 8000", q)
+	}
+	if q := histQuantile(HistogramValue{}, 0.5); q != 0 {
+		t.Errorf("empty histogram p50 = %v", q)
+	}
+	// Overflow bucket reports the observed max.
+	h2 := HistogramValue{Count: 1, Min: 5, Max: 1 << 40,
+		Buckets: []HistogramBucket{{Le: -1, Count: 1}}}
+	if q := histQuantile(h2, 0.5); q != float64(int64(1)<<40) {
+		t.Errorf("overflow-bucket quantile = %v", q)
+	}
+}
+
+func TestMetricNamesRegistry(t *testing.T) {
+	seen := make(map[string]bool, len(MetricNames))
+	for _, m := range MetricNames {
+		if seen[m.Name] {
+			t.Errorf("metric name %q listed twice", m.Name)
+		}
+		seen[m.Name] = true
+		if !ValidMetricName(m.Name) {
+			t.Errorf("metric name %q violates the lowercase.dot.separated contract", m.Name)
+		}
+		if m.Help == "" {
+			t.Errorf("metric %q has no help string", m.Name)
+		}
+	}
+}
+
+func TestValidMetricName(t *testing.T) {
+	for _, ok := range []string{"a.b", "conv.bytes_in", "parpipe.conv.encode.queue_depth", "mpi.rank0.sends"} {
+		if !ValidMetricName(ok) {
+			t.Errorf("ValidMetricName(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "single", "Upper.case", "a..b", ".a.b", "a.b.", "a-b.c", "1a.b"} {
+		if ValidMetricName(bad) {
+			t.Errorf("ValidMetricName(%q) = true", bad)
+		}
+	}
+}
+
+// TestDeployedMetricNamesAreRegistered greps nothing: it asserts the
+// names the running code actually creates (by exercising the registry
+// the way the subsystems do at init) appear in the canonical inventory.
+func TestDeployedMetricNamesAreRegistered(t *testing.T) {
+	// Names representative entries must cover exactly.
+	for _, name := range []string{
+		"bgzf.shared_pool.throughput",
+		"parpipe.conv.encode.queue_depth",
+		"mpinet.telemetry_dropped",
+		"conv.records", "conv.bytes_total",
+		"go.sched_latency_p99_ns",
+		"world.straggler",
+	} {
+		if _, ok := MetricHelp(name); !ok {
+			t.Errorf("deployed metric %q missing from the canonical inventory", name)
+		}
+	}
+}

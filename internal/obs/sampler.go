@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// The runtime sampler: a lightweight goroutine that periodically reads
+// runtime/metrics and publishes the results as go.* gauges on a
+// registry, so heap footprint, GC effort, goroutine count and
+// scheduling latency ride the same /metrics scrape (and the same
+// cross-rank telemetry deltas) as the pipeline's own counters.
+
+// samplerGauges maps runtime/metrics names onto the stable go.* gauge
+// names in the canonical inventory. Units are converted to the gauge's
+// declared unit (seconds → ns where the name says _ns).
+var samplerGauges = []struct {
+	sample string
+	gauge  string
+	toNS   bool // value is float64 seconds; publish nanoseconds
+}{
+	{"/sched/goroutines:goroutines", "go.goroutines", false},
+	{"/memory/classes/heap/objects:bytes", "go.heap_objects_bytes", false},
+	{"/memory/classes/total:bytes", "go.mem_total_bytes", false},
+	{"/gc/cycles/total:gc-cycles", "go.gc_cycles", false},
+	{"/sync/mutex/wait/total:seconds", "go.mutex_wait_ns", true},
+	{"/cpu/classes/gc/total:cpu-seconds", "go.gc_cpu_ns", true},
+	{"/gc/pauses:seconds", "go.gc_pause_total_ns", true}, // histogram: sum estimate
+}
+
+// schedLatencySample is the scheduler-latency histogram the sampler
+// summarises into go.sched_latency_p50_ns / p99.
+const schedLatencySample = "/sched/latencies:seconds"
+
+// float64Histogram quantile: walk buckets until the cumulative count
+// crosses q·total, report that bucket's upper bound in seconds.
+func histFloat64Quantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= target {
+			// Bucket i spans Buckets[i]..Buckets[i+1]; use the upper
+			// bound, falling back past the +Inf edge.
+			if i+1 < len(h.Buckets) && !isInf(h.Buckets[i+1]) {
+				return h.Buckets[i+1]
+			}
+			if !isInf(h.Buckets[i]) {
+				return h.Buckets[i]
+			}
+			return 0
+		}
+	}
+	return 0
+}
+
+func isInf(f float64) bool { return f > 1e300 || f < -1e300 }
+
+// histFloat64Sum estimates a Float64Histogram's total as Σ count·mid.
+func histFloat64Sum(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if isInf(lo) {
+			lo = hi
+		}
+		if isInf(hi) {
+			hi = lo
+		}
+		sum += float64(c) * (lo + hi) / 2
+	}
+	return sum
+}
+
+// SampleRuntimeGauges reads runtime/metrics once and publishes the go.*
+// gauges on r. Exported so one-shot contexts (tests, final snapshots)
+// can refresh the gauges without running the sampler goroutine.
+func SampleRuntimeGauges(r *Registry) {
+	if r == nil {
+		return
+	}
+	samples := make([]metrics.Sample, 0, len(samplerGauges)+1)
+	for _, sg := range samplerGauges {
+		samples = append(samples, metrics.Sample{Name: sg.sample})
+	}
+	samples = append(samples, metrics.Sample{Name: schedLatencySample})
+	metrics.Read(samples)
+	for i, sg := range samplerGauges {
+		v := samples[i].Value
+		var f float64
+		switch v.Kind() {
+		case metrics.KindUint64:
+			f = float64(v.Uint64())
+		case metrics.KindFloat64:
+			f = v.Float64()
+		case metrics.KindFloat64Histogram:
+			f = histFloat64Sum(v.Float64Histogram())
+		default:
+			continue // metric not exported by this Go version
+		}
+		if sg.toNS {
+			f *= 1e9
+		}
+		r.Gauge(sg.gauge).Set(int64(f))
+	}
+	if lat := samples[len(samples)-1]; lat.Value.Kind() == metrics.KindFloat64Histogram {
+		h := lat.Value.Float64Histogram()
+		r.Gauge("go.sched_latency_p50_ns").Set(int64(histFloat64Quantile(h, 0.50) * 1e9))
+		r.Gauge("go.sched_latency_p99_ns").Set(int64(histFloat64Quantile(h, 0.99) * 1e9))
+	}
+}
+
+// StartRuntimeSampler samples the runtime into r's go.* gauges every
+// interval (≤ 0 selects 1s) until the returned stop function is called.
+// Stop performs one final sample so short runs still report.
+func StartRuntimeSampler(r *Registry, interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	SampleRuntimeGauges(r)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				SampleRuntimeGauges(r)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+			SampleRuntimeGauges(r)
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+func TestSampleRuntimeGauges(t *testing.T) {
+	r := New()
+	SampleRuntimeGauges(r)
+	if got := r.Gauge("go.goroutines").Value(); got < 1 {
+		t.Errorf("go.goroutines = %d, want ≥ 1", got)
+	}
+	if got := r.Gauge("go.mem_total_bytes").Value(); got <= 0 {
+		t.Errorf("go.mem_total_bytes = %d, want > 0", got)
+	}
+	if got := r.Gauge("go.heap_objects_bytes").Value(); got <= 0 {
+		t.Errorf("go.heap_objects_bytes = %d, want > 0", got)
+	}
+	// Nil registry: free no-op.
+	SampleRuntimeGauges(nil)
+}
+
+func TestStartRuntimeSampler(t *testing.T) {
+	r := New()
+	stop := StartRuntimeSampler(r, time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	if got := r.Gauge("go.goroutines").Value(); got < 1 {
+		t.Errorf("sampled go.goroutines = %d", got)
+	}
+	// Stopping a nil-registry sampler is fine too.
+	StartRuntimeSampler(nil, time.Millisecond)()
+}
+
+func TestHistFloat64Quantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 10},
+		Buckets: []float64{0, 1e-6, 1e-3, 1},
+	}
+	if q := histFloat64Quantile(h, 0.5); q != 1e-3 {
+		t.Errorf("p50 = %v, want 1e-3", q)
+	}
+	if q := histFloat64Quantile(h, 0.99); q != 1 {
+		t.Errorf("p99 = %v, want 1", q)
+	}
+	if q := histFloat64Quantile(nil, 0.5); q != 0 {
+		t.Errorf("nil histogram quantile = %v", q)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if q := histFloat64Quantile(empty, 0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v", q)
+	}
+}
+
+func TestHistFloat64Sum(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{2, 4},
+		Buckets: []float64{0, 2, 4},
+	}
+	// 2 observations at midpoint 1 plus 4 at midpoint 3 = 14.
+	if s := histFloat64Sum(h); s != 14 {
+		t.Errorf("sum = %v, want 14", s)
+	}
+	if s := histFloat64Sum(nil); s != 0 {
+		t.Errorf("nil sum = %v", s)
+	}
+}

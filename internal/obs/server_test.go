@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	r := New()
+	r.EnableTracing(0)
+	r.Counter("conv.records").Add(7)
+	v := NewWorldView(r, WorldViewOptions{Warnf: quiet})
+	v.Apply(testDelta(1, 99))
+
+	s, err := StartServer("127.0.0.1:0", r, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"conv_records 7",
+		`conv_records{rank="1",host="h"} 99`,
+		`world_rank_up{rank="1",host="h"} 1`,
+		"go_goroutines ", // the scrape itself refreshes the runtime gauges
+		"# TYPE conv_records counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Count(body, "# TYPE conv_records counter") != 1 {
+		t.Error("/metrics repeats TYPE headers across rank label sets")
+	}
+}
+
+func TestServerProgressEndpoint(t *testing.T) {
+	r := New()
+	r.Counter("conv.records").Add(1000)
+	r.Counter("conv.bytes_in").Add(500)
+	r.Counter("conv.bytes_out").Add(250)
+	r.Gauge("conv.bytes_total").Set(2000)
+
+	s, err := StartServer("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body := get(t, "http://"+s.Addr()+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("progress JSON: %v\n%s", err, body)
+	}
+	if p.Records != 1000 || p.BytesIn != 500 || p.BytesOut != 250 || p.BytesTotal != 2000 {
+		t.Fatalf("progress totals = %+v", p)
+	}
+	if p.Completed != 0.25 {
+		t.Errorf("completed = %v, want 0.25", p.Completed)
+	}
+	if p.RecordsPerSec <= 0 || p.ETASeconds <= 0 {
+		t.Errorf("rates/ETA not derived: %+v", p)
+	}
+
+	// A second scrape with no movement: windowed rate drops toward zero,
+	// never negative.
+	time.Sleep(10 * time.Millisecond)
+	_, body = get(t, "http://"+s.Addr()+"/progress")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.RecordsPerSec != 0 {
+		t.Errorf("idle windowed rate = %v, want 0", p.RecordsPerSec)
+	}
+}
+
+func TestServerTraceEndpoint(t *testing.T) {
+	r := New()
+	r.EnableTracing(0)
+	sp := r.StartSpan(0, 0, "phase-x")
+	sp.End()
+	s, err := StartServer("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body := get(t, "http://"+s.Addr()+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace is not JSON: %v", err)
+	}
+	if !strings.Contains(body, "phase-x") {
+		t.Error("trace missing the recorded span")
+	}
+}
+
+func TestServerTraceDisabled(t *testing.T) {
+	r := New() // no tracing
+	s, err := StartServer("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, _ := get(t, "http://"+s.Addr()+"/trace")
+	if code != http.StatusNotFound {
+		t.Fatalf("/trace without tracing: status %d, want 404", code)
+	}
+}
+
+func TestServerPprofEndpoint(t *testing.T) {
+	r := New()
+	s, err := StartServer("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, "http://"+s.Addr()+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof endpoint: status %d", code)
+	}
+}
+
+func TestServerRejectsNilRegistry(t *testing.T) {
+	if _, err := StartServer("127.0.0.1:0", nil, nil); err == nil {
+		t.Fatal("StartServer accepted a nil registry")
+	}
+}
+
+func ExampleServer() {
+	r := New()
+	r.Counter("conv.records").Add(1)
+	s, _ := StartServer("127.0.0.1:0", r, nil)
+	defer s.Close()
+	fmt.Println(strings.HasPrefix(s.Addr(), "127.0.0.1:"))
+	// Output: true
+}

@@ -6,16 +6,20 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// event is one completed span in a trace ring.
+// event is one completed span in a trace ring. seq is a tracer-wide
+// monotone id, so the cross-rank telemetry shipper can drain "events
+// since the last ship" without re-sending the whole ring.
 type event struct {
 	name    string
 	pid     int32
 	tid     int32
 	startNS int64
 	durNS   int64
+	seq     int64
 }
 
 // ring is one trace process's bounded event buffer. Appends take the
@@ -55,6 +59,7 @@ func (rg *ring) snapshot() []event {
 // tracer routes span events to per-pid rings.
 type tracer struct {
 	perPID int
+	seq    atomic.Int64
 	mu     sync.RWMutex
 	rings  map[int32]*ring
 }
@@ -79,7 +84,10 @@ func (t *tracer) ringFor(pid int32) *ring {
 	return rg
 }
 
-func (t *tracer) add(e event) { t.ringFor(e.pid).add(e) }
+func (t *tracer) add(e event) {
+	e.seq = t.seq.Add(1)
+	t.ringFor(e.pid).add(e)
+}
 
 // Span is one timed, named region of work. The zero Span is the disabled
 // span: Start* on a nil registry returns it, and End on it is free.
@@ -223,9 +231,39 @@ func (r *Registry) WriteTrace(w io.Writer) error {
 	if r == nil {
 		return fmt.Errorf("obs: no registry")
 	}
+	if r.tracer.Load() == nil {
+		return fmt.Errorf("obs: tracing not enabled")
+	}
+	evs, _ := r.TraceEventsSince(0, 0)
+	return writeChromeTrace(w, r.ProcessNames(), evs)
+}
+
+// TraceEventData is one completed span in exported form: the currency of
+// the cross-rank telemetry gather (workers ship their recent events to
+// rank 0) and of the merged multi-host trace. StartNS is relative to the
+// recording registry's epoch (EpochWallNS); Seq is a registry-wide
+// monotone id, so "events since the last ship" is a simple comparison.
+type TraceEventData struct {
+	Name    string `json:"name"`
+	PID     int32  `json:"pid"`
+	TID     int32  `json:"tid"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Seq     int64  `json:"seq"`
+}
+
+// TraceEventsSince returns every recorded span with sequence number
+// greater than since (0 returns everything still in the rings), capped
+// at max events when max > 0, along with the highest sequence number
+// seen — the cursor for the next call. Events are returned in pid, then
+// recording order. A nil registry or disabled tracer yields (nil, since).
+func (r *Registry) TraceEventsSince(since int64, max int) ([]TraceEventData, int64) {
+	if r == nil {
+		return nil, since
+	}
 	t := r.tracer.Load()
 	if t == nil {
-		return fmt.Errorf("obs: tracing not enabled")
+		return nil, since
 	}
 	t.mu.RLock()
 	pids := make([]int32, 0, len(t.rings))
@@ -235,16 +273,61 @@ func (r *Registry) WriteTrace(w io.Writer) error {
 	t.mu.RUnlock()
 	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 
-	var out traceFile
-	out.DisplayTimeUnit = "ms"
+	maxSeq := since
+	var out []TraceEventData
+	for _, pid := range pids {
+		t.mu.RLock()
+		rg := t.rings[pid]
+		t.mu.RUnlock()
+		for _, e := range rg.snapshot() {
+			if e.seq <= since {
+				continue
+			}
+			if e.seq > maxSeq {
+				maxSeq = e.seq
+			}
+			if max > 0 && len(out) >= max {
+				continue // keep scanning so the cursor still advances
+			}
+			out = append(out, TraceEventData{
+				Name: e.name, PID: e.pid, TID: e.tid,
+				StartNS: e.startNS, DurNS: e.durNS, Seq: e.seq,
+			})
+		}
+	}
+	return out, maxSeq
+}
+
+// ProcessNames returns a copy of the trace process-name table.
+func (r *Registry) ProcessNames() map[int]string {
+	if r == nil {
+		return nil
+	}
 	r.procMu.Lock()
 	names := make(map[int]string, len(r.procNames))
 	for pid, n := range r.procNames {
 		names[pid] = n
 	}
 	r.procMu.Unlock()
+	return names
+}
+
+// writeChromeTrace renders events (already on one timeline) plus process
+// metadata as a Chrome trace_event JSON document.
+func writeChromeTrace(w io.Writer, procs map[int]string, evs []TraceEventData) error {
+	var out traceFile
+	out.DisplayTimeUnit = "ms"
+	pidSeen := make(map[int32]bool)
+	for _, e := range evs {
+		pidSeen[e.PID] = true
+	}
+	pids := make([]int32, 0, len(pidSeen))
+	for pid := range pidSeen {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 	for _, pid := range pids {
-		name := names[int(pid)]
+		name := procs[int(pid)]
 		if name == "" {
 			name = fmt.Sprintf("rank %d", pid)
 		}
@@ -253,17 +336,11 @@ func (r *Registry) WriteTrace(w io.Writer) error {
 			Args: map[string]any{"name": name},
 		})
 	}
-	for _, pid := range pids {
-		t.mu.RLock()
-		rg := t.rings[pid]
-		t.mu.RUnlock()
-		for _, e := range rg.snapshot() {
-			out.TraceEvents = append(out.TraceEvents, traceEvent{
-				Name: e.name, Ph: "X", PID: e.pid, TID: e.tid,
-				TS: float64(e.startNS) / 1e3, Dur: float64(e.durNS) / 1e3,
-			})
-		}
+	for _, e := range evs {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: e.Name, Ph: "X", PID: e.PID, TID: e.TID,
+			TS: float64(e.StartNS) / 1e3, Dur: float64(e.DurNS) / 1e3,
+		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(&out)
+	return json.NewEncoder(w).Encode(&out)
 }

@@ -1,0 +1,388 @@
+// Cross-rank telemetry. Every rank of a distributed world periodically
+// ships a Delta — its metrics snapshot, its recent trace spans, its
+// clock-offset estimate against rank 0 — over the transport's
+// out-of-band telemetry channel. Rank 0 folds the deltas into a
+// WorldView, which re-exposes every rank's series under rank/host
+// labels on /metrics, surfaces stragglers and lost heartbeats as
+// world.* gauges, and merges every rank's span stream into one
+// clock-aligned Chrome trace for /trace.
+//
+// The types here are transport-agnostic on purpose: internal/mpi owns
+// the shipping loop (it knows the transports), this file owns what is
+// shipped and what rank 0 does with it.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Delta is one rank's telemetry shipment: a full (small) metrics
+// snapshot, the trace spans recorded since the previous shipment, and
+// the clock context rank 0 needs to place those spans on its own
+// timeline. Arrival doubles as the rank's heartbeat.
+type Delta struct {
+	Rank        int              `json:"rank"`
+	Host        string           `json:"host"`
+	Seq         int64            `json:"seq"`
+	EpochWallNS int64            `json:"epoch_wall_ns"` // registry epoch, sender's clock
+	OffsetNS    int64            `json:"offset_ns"`     // rank-0 clock minus sender clock
+	RTTNS       int64            `json:"rtt_ns"`        // round-trip of the offset probe
+	Final       bool             `json:"final,omitempty"`
+	Snap        Snapshot         `json:"snap"`
+	Events      []TraceEventData `json:"events,omitempty"`
+	ProcNames   map[int]string   `json:"proc_names,omitempty"`
+}
+
+// EncodeDelta serialises a delta for the wire.
+func EncodeDelta(d *Delta) ([]byte, error) { return json.Marshal(d) }
+
+// DecodeDelta parses a wire delta.
+func DecodeDelta(data []byte) (*Delta, error) {
+	d := &Delta{}
+	if err := json.Unmarshal(data, d); err != nil {
+		return nil, fmt.Errorf("obs: decoding telemetry delta: %w", err)
+	}
+	return d, nil
+}
+
+// maxEventsPerDelta bounds one shipment's span payload; older events
+// stay in the ring and go out on the next tick.
+const maxEventsPerDelta = 8192
+
+// DeltaShipper builds successive Deltas from one rank's registry,
+// tracking the trace-event cursor so each shipment carries only new
+// spans.
+type DeltaShipper struct {
+	reg      *Registry
+	rank     int
+	host     string
+	seq      int64
+	eventSeq int64
+}
+
+// NewDeltaShipper returns a shipper for this process's registry. The
+// host label defaults to os.Hostname.
+func NewDeltaShipper(reg *Registry, rank int) *DeltaShipper {
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "unknown"
+	}
+	return &DeltaShipper{reg: reg, rank: rank, host: host}
+}
+
+// Next builds the next delta. offset/rtt carry the latest clock-offset
+// estimate against rank 0 (zero for rank 0 itself and for transports
+// sharing one clock). final marks the rank's last shipment before a
+// clean exit.
+func (s *DeltaShipper) Next(offset, rtt time.Duration, final bool) *Delta {
+	s.seq++
+	events, cursor := s.reg.TraceEventsSince(s.eventSeq, maxEventsPerDelta)
+	s.eventSeq = cursor
+	return &Delta{
+		Rank:        s.rank,
+		Host:        s.host,
+		Seq:         s.seq,
+		EpochWallNS: s.reg.EpochWallNS(),
+		OffsetNS:    offset.Nanoseconds(),
+		RTTNS:       rtt.Nanoseconds(),
+		Final:       final,
+		Snap:        s.reg.Snapshot(),
+		Events:      events,
+		ProcNames:   s.reg.ProcessNames(),
+	}
+}
+
+// rankState is everything the view knows about one rank.
+type rankState struct {
+	delta    Delta
+	lastSeen time.Time
+	events   []TraceEventData // bounded accumulation across deltas
+	strag    bool
+	down     bool
+}
+
+// maxEventsPerRank bounds the merged trace's per-rank span memory on
+// rank 0; the oldest spans fall off first.
+const maxEventsPerRank = 1 << 16
+
+// WorldViewOptions tune the gather's derived signals.
+type WorldViewOptions struct {
+	// ProgressCounter is the counter compared across ranks for
+	// straggler detection (default "conv.records").
+	ProgressCounter string
+	// StragglerFraction flags a rank whose progress falls below this
+	// fraction of the world median (default 0.5).
+	StragglerFraction float64
+	// StallAfter marks a rank down when no delta has arrived for this
+	// long (default 5s; the shipping interval is typically 1s).
+	StallAfter time.Duration
+	// Warnf receives straggler / lost-heartbeat warnings (default
+	// stderr). Set to a no-op in tests.
+	Warnf func(format string, args ...any)
+}
+
+func (o WorldViewOptions) withDefaults() WorldViewOptions {
+	if o.ProgressCounter == "" {
+		o.ProgressCounter = "conv.records"
+	}
+	if o.StragglerFraction == 0 {
+		o.StragglerFraction = 0.5
+	}
+	if o.StallAfter == 0 {
+		o.StallAfter = 5 * time.Second
+	}
+	if o.Warnf == nil {
+		o.Warnf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "obs: "+format+"\n", args...)
+		}
+	}
+	return o
+}
+
+// WorldView is rank 0's live picture of every rank's telemetry.
+type WorldView struct {
+	reg  *Registry // rank 0's local registry; world.* gauges land here
+	opts WorldViewOptions
+
+	mu    sync.Mutex
+	ranks map[int]*rankState
+}
+
+// NewWorldView returns an empty view attached to rank 0's registry.
+func NewWorldView(reg *Registry, opts WorldViewOptions) *WorldView {
+	return &WorldView{reg: reg, opts: opts.withDefaults(), ranks: make(map[int]*rankState)}
+}
+
+// Apply folds one rank's delta into the view and refreshes the derived
+// world gauges.
+func (v *WorldView) Apply(d *Delta) {
+	if v == nil || d == nil {
+		return
+	}
+	now := time.Now()
+	v.mu.Lock()
+	st := v.ranks[d.Rank]
+	if st == nil {
+		st = &rankState{}
+		v.ranks[d.Rank] = st
+	}
+	if d.Seq < st.delta.Seq {
+		// A late frame from before a restart: keep the heartbeat, drop
+		// the stale payload.
+		st.lastSeen = now
+		v.mu.Unlock()
+		return
+	}
+	events := st.events
+	st.events = append(events, d.Events...)
+	if n := len(st.events); n > maxEventsPerRank {
+		st.events = append(st.events[:0], st.events[n-maxEventsPerRank:]...)
+	}
+	d.Events = nil
+	st.delta = *d
+	st.lastSeen = now
+	if st.down {
+		st.down = false
+		v.opts.Warnf("world: rank %d heartbeat recovered", d.Rank)
+	}
+	v.refreshLocked(now)
+	v.mu.Unlock()
+}
+
+// refreshLocked recomputes stragglers and lost heartbeats, updates the
+// world.* gauges on the local registry, and warns on transitions.
+// Callers hold v.mu.
+func (v *WorldView) refreshLocked(now time.Time) {
+	progress := make([]int64, 0, len(v.ranks))
+	for rank, st := range v.ranks {
+		wasDown := st.down
+		st.down = now.Sub(st.lastSeen) > v.opts.StallAfter && !st.delta.Final
+		if st.down && !wasDown {
+			v.opts.Warnf("world: rank %d heartbeat lost (last seen %v ago)", rank, now.Sub(st.lastSeen).Round(time.Millisecond))
+		}
+		if !st.down {
+			progress = append(progress, st.delta.Snap.Counters[v.opts.ProgressCounter])
+		}
+	}
+	var median int64
+	if len(progress) > 0 {
+		sort.Slice(progress, func(i, j int) bool { return progress[i] < progress[j] })
+		median = progress[len(progress)/2]
+	}
+	stragglers, down := 0, 0
+	for rank, st := range v.ranks {
+		if st.down {
+			down++
+			st.strag = false
+			continue
+		}
+		was := st.strag
+		p := st.delta.Snap.Counters[v.opts.ProgressCounter]
+		st.strag = len(v.ranks) >= 3 && median > 0 &&
+			float64(p) < float64(median)*v.opts.StragglerFraction
+		if st.strag {
+			stragglers++
+			if !was {
+				v.opts.Warnf("world: rank %d is straggling: %s=%d, world median %d",
+					rank, v.opts.ProgressCounter, p, median)
+			}
+		}
+	}
+	v.reg.Gauge("world.size").Set(int64(len(v.ranks)))
+	v.reg.Gauge("world.straggler").Set(int64(stragglers))
+	v.reg.Gauge("world.down").Set(int64(down))
+}
+
+// Refresh re-derives the world gauges against the current clock —
+// heartbeat loss is an absence of events, so someone must look.
+func (v *WorldView) Refresh() {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	v.refreshLocked(time.Now())
+	v.mu.Unlock()
+}
+
+// RankStatus is one rank's summarised state, for tests and /progress.
+type RankStatus struct {
+	Rank      int     `json:"rank"`
+	Host      string  `json:"host"`
+	Up        bool    `json:"up"`
+	Straggler bool    `json:"straggler"`
+	Progress  int64   `json:"progress"`
+	AgeSec    float64 `json:"heartbeat_age_seconds"`
+	OffsetNS  int64   `json:"clock_offset_ns"`
+}
+
+// Ranks returns every known rank's status, sorted by rank.
+func (v *WorldView) Ranks() []RankStatus {
+	if v == nil {
+		return nil
+	}
+	now := time.Now()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]RankStatus, 0, len(v.ranks))
+	for rank, st := range v.ranks {
+		out = append(out, RankStatus{
+			Rank:      rank,
+			Host:      st.delta.Host,
+			Up:        !st.down,
+			Straggler: st.strag,
+			Progress:  st.delta.Snap.Counters[v.opts.ProgressCounter],
+			AgeSec:    now.Sub(st.lastSeen).Seconds(),
+			OffsetNS:  st.delta.OffsetNS,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// writeProm renders every rank's snapshot under rank/host labels plus
+// the world-level status series. It composes with a promWriter that
+// already wrote the local (unlabeled) snapshot, sharing its TYPE
+// de-duplication.
+func (v *WorldView) writeProm(pw *promWriter) {
+	if v == nil {
+		return
+	}
+	v.Refresh()
+	now := time.Now()
+	v.mu.Lock()
+	ranks := make([]int, 0, len(v.ranks))
+	for rank := range v.ranks {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		st := v.ranks[rank]
+		labels := fmt.Sprintf(`rank="%d",host="%s"`, rank, promEscape(st.delta.Host))
+		snap := st.delta.Snap
+		pw.writeSnapshot(&snap, labels)
+		up := 1.0
+		if st.down {
+			up = 0
+		}
+		strag := 0.0
+		if st.strag {
+			strag = 1
+		}
+		pw.header("world_rank_up", "", "gauge")
+		pw.sample("world_rank_up", labels, up)
+		pw.header("world_rank_straggler", "", "gauge")
+		pw.sample("world_rank_straggler", labels, strag)
+		pw.header("world_rank_heartbeat_age_seconds", "", "gauge")
+		pw.sample("world_rank_heartbeat_age_seconds", labels, now.Sub(st.lastSeen).Seconds())
+		pw.header("world_rank_clock_offset_ns", "", "gauge")
+		pw.sample("world_rank_clock_offset_ns", labels, float64(st.delta.OffsetNS))
+		pw.header("world_rank_progress", "", "gauge")
+		pw.sample("world_rank_progress", labels, float64(st.delta.Snap.Counters[v.opts.ProgressCounter]))
+	}
+	v.mu.Unlock()
+}
+
+// remotePIDBase spreads remote ranks' allocated (subsystem) trace pids
+// into disjoint per-rank bands, so rank 2's "pipe:conv.encode" lane
+// does not collide with rank 0's in the merged trace. Rank lanes
+// themselves (pid < allocPIDBase) are globally unique already — they
+// are the rank numbers.
+const remotePIDStride = 100000
+
+// WriteMergedTrace writes one Chrome trace containing the local
+// registry's spans plus every remote rank's shipped spans, all on rank
+// 0's clock: a remote span's timestamp is corrected by the shipping
+// rank's registry epoch and measured clock offset before being placed
+// on the local timeline.
+func (v *WorldView) WriteMergedTrace(w io.Writer, local *Registry) error {
+	var evs []TraceEventData
+	procs := make(map[int]string)
+	var localEpoch int64
+	if local != nil {
+		localEpoch = local.EpochWallNS()
+		le, _ := local.TraceEventsSince(0, 0)
+		evs = append(evs, le...)
+		for pid, n := range local.ProcessNames() {
+			procs[pid] = n
+		}
+	}
+	if v != nil {
+		v.mu.Lock()
+		for rank, st := range v.ranks {
+			if local != nil && localEpoch == st.delta.EpochWallNS {
+				// This delta came from the local registry itself (rank 0's
+				// own shipment, or an in-process world where every rank
+				// shares one registry): its events are already present.
+				continue
+			}
+			shift := st.delta.EpochWallNS + st.delta.OffsetNS - localEpoch
+			for _, e := range st.events {
+				pid := e.PID
+				if int(pid) >= allocPIDBase {
+					pid += int32(rank * remotePIDStride)
+				}
+				evs = append(evs, TraceEventData{
+					Name: e.Name, PID: pid, TID: e.TID,
+					StartNS: e.StartNS + shift, DurNS: e.DurNS,
+				})
+			}
+			for pid, n := range st.delta.ProcNames {
+				mapped := pid
+				if pid >= allocPIDBase {
+					mapped += rank * remotePIDStride
+				}
+				if _, taken := procs[mapped]; !taken {
+					procs[mapped] = fmt.Sprintf("rank%d %s", rank, n)
+				}
+			}
+		}
+		v.mu.Unlock()
+	}
+	return writeChromeTrace(w, procs, evs)
+}

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quiet discards world warnings in tests.
+func quiet(format string, args ...any) {}
+
+func testDelta(rank int, progress int64) *Delta {
+	return &Delta{
+		Rank: rank, Host: "h", Seq: 1,
+		Snap: Snapshot{Counters: map[string]int64{"conv.records": progress}},
+	}
+}
+
+func TestDeltaRoundTrips(t *testing.T) {
+	d := &Delta{
+		Rank: 2, Host: "node7", Seq: 5, EpochWallNS: 1234, OffsetNS: -50, RTTNS: 100,
+		Snap:      Snapshot{Counters: map[string]int64{"conv.records": 9}},
+		Events:    []TraceEventData{{Name: "convert", PID: 2, TID: 0, StartNS: 10, DurNS: 20, Seq: 1}},
+		ProcNames: map[int]string{2: "rank 2"},
+	}
+	data, err := EncodeDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDelta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != 2 || got.Host != "node7" || got.Snap.Counters["conv.records"] != 9 ||
+		len(got.Events) != 1 || got.Events[0].Name != "convert" || got.ProcNames[2] != "rank 2" {
+		t.Fatalf("round trip mangled delta: %+v", got)
+	}
+	if _, err := DecodeDelta([]byte("{garbage")); err == nil {
+		t.Error("DecodeDelta accepted garbage")
+	}
+}
+
+func TestDeltaShipperCursor(t *testing.T) {
+	r := New()
+	r.EnableTracing(0)
+	s := NewDeltaShipper(r, 3)
+
+	sp := r.StartSpan(3, 0, "a")
+	sp.End()
+	d1 := s.Next(0, 0, false)
+	if len(d1.Events) != 1 || d1.Events[0].Name != "a" {
+		t.Fatalf("first delta events = %+v", d1.Events)
+	}
+	if d1.Rank != 3 || d1.Seq != 1 || d1.Host == "" {
+		t.Fatalf("delta header = %+v", d1)
+	}
+
+	// No new spans: the next delta ships no events.
+	d2 := s.Next(0, 0, false)
+	if len(d2.Events) != 0 || d2.Seq != 2 {
+		t.Fatalf("second delta = %d events, seq %d", len(d2.Events), d2.Seq)
+	}
+
+	sp = r.StartSpan(3, 0, "b")
+	sp.End()
+	d3 := s.Next(5*time.Millisecond, time.Millisecond, true)
+	if len(d3.Events) != 1 || d3.Events[0].Name != "b" {
+		t.Fatalf("third delta events = %+v", d3.Events)
+	}
+	if d3.OffsetNS != 5e6 || d3.RTTNS != 1e6 || !d3.Final {
+		t.Fatalf("third delta clock/final = %+v", d3)
+	}
+}
+
+func TestWorldViewStragglerDetection(t *testing.T) {
+	reg := New()
+	var warnings []string
+	v := NewWorldView(reg, WorldViewOptions{
+		Warnf: func(format string, args ...any) {
+			warnings = append(warnings, format)
+		},
+	})
+	// Three healthy ranks and one far behind the median.
+	v.Apply(testDelta(0, 1000))
+	v.Apply(testDelta(1, 1100))
+	v.Apply(testDelta(2, 900))
+	v.Apply(testDelta(3, 100)) // < 0.5 × median (1000)
+
+	if got := reg.Gauge("world.size").Value(); got != 4 {
+		t.Errorf("world.size = %d, want 4", got)
+	}
+	if got := reg.Gauge("world.straggler").Value(); got != 1 {
+		t.Errorf("world.straggler = %d, want 1", got)
+	}
+	ranks := v.Ranks()
+	if len(ranks) != 4 || !ranks[3].Straggler || ranks[0].Straggler {
+		t.Fatalf("rank status = %+v", ranks)
+	}
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w, "straggling") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no straggler warning in %q", warnings)
+	}
+
+	// The straggler catches up: the flag clears.
+	d := testDelta(3, 950)
+	d.Seq = 2
+	v.Apply(d)
+	if got := reg.Gauge("world.straggler").Value(); got != 0 {
+		t.Errorf("world.straggler after catch-up = %d, want 0", got)
+	}
+}
+
+func TestWorldViewHeartbeatLoss(t *testing.T) {
+	reg := New()
+	var warned bool
+	v := NewWorldView(reg, WorldViewOptions{
+		StallAfter: time.Millisecond,
+		Warnf: func(format string, args ...any) {
+			if strings.Contains(format, "heartbeat lost") {
+				warned = true
+			}
+		},
+	})
+	v.Apply(testDelta(0, 10))
+	v.Apply(testDelta(1, 10))
+	time.Sleep(5 * time.Millisecond)
+	v.Refresh()
+	if got := reg.Gauge("world.down").Value(); got != 2 {
+		t.Errorf("world.down = %d, want 2", got)
+	}
+	if !warned {
+		t.Error("no heartbeat-lost warning")
+	}
+	for _, rs := range v.Ranks() {
+		if rs.Up {
+			t.Errorf("rank %d still up after stall", rs.Rank)
+		}
+	}
+
+	// A final delta is a clean exit, not a lost heartbeat.
+	d := testDelta(2, 10)
+	d.Final = true
+	v.Apply(d)
+	time.Sleep(5 * time.Millisecond)
+	v.Refresh()
+	down := 0
+	for _, rs := range v.Ranks() {
+		if !rs.Up {
+			down++
+		}
+	}
+	if down != 2 {
+		t.Errorf("%d ranks down, want 2 (the final rank stays up)", down)
+	}
+}
+
+func TestWorldViewStaleDeltaIgnored(t *testing.T) {
+	v := NewWorldView(New(), WorldViewOptions{Warnf: quiet})
+	fresh := testDelta(0, 100)
+	fresh.Seq = 5
+	v.Apply(fresh)
+	stale := testDelta(0, 1)
+	stale.Seq = 2
+	v.Apply(stale)
+	if got := v.Ranks()[0].Progress; got != 100 {
+		t.Errorf("stale delta overwrote progress: %d", got)
+	}
+}
+
+func TestWorldViewPromLabels(t *testing.T) {
+	reg := New()
+	v := NewWorldView(reg, WorldViewOptions{Warnf: quiet})
+	d := testDelta(1, 42)
+	d.Host = `no"de`
+	v.Apply(d)
+
+	var buf bytes.Buffer
+	pw := newPromWriter(&buf)
+	snap := reg.Snapshot()
+	pw.writeSnapshot(&snap, "")
+	v.writeProm(pw)
+	if pw.err != nil {
+		t.Fatal(pw.err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`conv_records{rank="1",host="no\"de"} 42`,
+		`world_rank_up{rank="1",host="no\"de"} 1`,
+		`world_rank_progress{rank="1"`,
+		`world_rank_heartbeat_age_seconds{rank="1"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labeled exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMergedTraceClockAlignment is the merge math pinned with synthetic
+// deltas: two ranks whose registries started at different wall-clock
+// instants and whose clocks disagree must land on one timeline — events
+// that happened simultaneously get the same merged timestamp.
+func TestMergedTraceClockAlignment(t *testing.T) {
+	local := New()
+	local.EnableTracing(0)
+	localEpoch := local.EpochWallNS()
+	v := NewWorldView(local, WorldViewOptions{Warnf: quiet})
+
+	// Rank 1's registry epoch is 2ms after rank 0's on the shared true
+	// timeline, but its clock runs 1ms ahead, so its reported epoch is
+	// localEpoch + 3ms and its measured offset is -1ms. An event at
+	// StartNS=5ms on rank 1's timeline therefore truly happened at
+	// localEpoch + 2ms + 5ms.
+	v.Apply(&Delta{
+		Rank: 1, Host: "h", Seq: 1,
+		EpochWallNS: localEpoch + 3e6,
+		OffsetNS:    -1e6,
+		Snap:        Snapshot{Counters: map[string]int64{}},
+		Events:      []TraceEventData{{Name: "remote", PID: 1, TID: 0, StartNS: 5e6, DurNS: 1e6, Seq: 1}},
+		ProcNames:   map[int]string{1: "rank 1"},
+	})
+	// A subsystem lane (allocPID space) on rank 2 must be remapped clear
+	// of rank 0's subsystem lanes. (Its epoch differs from the local one
+	// — identical epochs mark a delta as the local registry's own.)
+	v.Apply(&Delta{
+		Rank: 2, Host: "h", Seq: 1,
+		EpochWallNS: localEpoch + 1e6,
+		Snap:        Snapshot{Counters: map[string]int64{}},
+		Events:      []TraceEventData{{Name: "pool", PID: allocPIDBase + 1, TID: 3, StartNS: 1e6, DurNS: 1e6, Seq: 1}},
+		ProcNames:   map[int]string{allocPIDBase + 1: "pipe:conv.encode"},
+	})
+
+	var buf bytes.Buffer
+	if err := v.WriteMergedTrace(&buf, local); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			PID  int32   `json:"pid"`
+			TS   float64 `json:"ts"`
+			Args map[string]any
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	var remoteTS float64
+	var poolPID int32
+	poolName := ""
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "remote" {
+			remoteTS = e.TS
+		}
+		if e.Ph == "X" && e.Name == "pool" {
+			poolPID = e.PID
+		}
+		if e.Ph == "M" && e.PID > int32(allocPIDBase) {
+			if n, ok := e.Args["name"].(string); ok {
+				poolName = n
+			}
+		}
+	}
+	// True start: epoch shift (3ms) + offset (-1ms) + StartNS (5ms) = 7ms
+	// on the local timeline → 7000µs.
+	if remoteTS != 7000 {
+		t.Errorf("merged remote event ts = %vµs, want 7000", remoteTS)
+	}
+	wantPID := int32(allocPIDBase + 1 + 2*remotePIDStride)
+	if poolPID != wantPID {
+		t.Errorf("remote subsystem pid = %d, want remapped %d", poolPID, wantPID)
+	}
+	if !strings.Contains(poolName, "rank2") {
+		t.Errorf("remapped lane name %q does not carry its rank", poolName)
+	}
+}
+
+func TestMergedTraceSkipsLocalDuplicate(t *testing.T) {
+	local := New()
+	local.EnableTracing(0)
+	sp := local.StartSpan(0, 0, "local-span")
+	sp.End()
+
+	// Rank 0 ships its own delta to the view (as the gather does); the
+	// merge must not duplicate those events.
+	v := NewWorldView(local, WorldViewOptions{Warnf: quiet})
+	s := NewDeltaShipper(local, 0)
+	v.Apply(s.Next(0, 0, false))
+
+	var buf bytes.Buffer
+	if err := v.WriteMergedTrace(&buf, local); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), `"local-span"`); n != 1 {
+		t.Errorf("local span appears %d times in the merged trace, want 1", n)
+	}
+}

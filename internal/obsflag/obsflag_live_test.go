@@ -1,0 +1,236 @@
+package obsflag
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"parseq/internal/obs"
+)
+
+// TestMain routes the SIGTERM helper (re-exec pattern: the test binary
+// becomes the process under test) around the suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("OBSFLAG_TEST_MODE") == "sigterm" {
+		helperSigterm()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// helperSigterm is the process the SIGTERM test kills: a session with
+// every file output requested, some recorded work, then an announce
+// and a hang. The signal handler must flush everything on the way out.
+func helperSigterm() {
+	fs := flag.NewFlagSet("helper", flag.ContinueOnError)
+	flags := Register(fs)
+	if err := fs.Parse([]string{
+		"-cpuprofile", os.Getenv("OBSFLAG_TEST_CPU"),
+		"-trace", os.Getenv("OBSFLAG_TEST_TRACE"),
+		"-metrics", os.Getenv("OBSFLAG_TEST_METRICS"),
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sess, err := flags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	reg := sess.Registry()
+	sp := reg.StartSpan(0, 0, "spin")
+	x := 0
+	for i := 0; i < 50_000_000; i++ { // CPU samples for the profile
+		x += i
+	}
+	sp.End()
+	reg.Counter("conv.records").Add(7)
+	if x == -1 {
+		fmt.Println(x)
+	}
+	fmt.Println("ready")
+	os.Stdout.Sync()
+	select {} // SIGTERM lands here; the handler flushes and exits 143
+}
+
+// TestSIGTERMFlushesProfiles kills a profiled run with SIGTERM and
+// asserts the CPU profile, trace and metrics snapshot still reach disk
+// and the process dies with the conventional 128+15 status.
+func TestSIGTERMFlushesProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.json")
+
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		"OBSFLAG_TEST_MODE=sigterm",
+		"OBSFLAG_TEST_CPU="+cpu,
+		"OBSFLAG_TEST_TRACE="+trace,
+		"OBSFLAG_TEST_METRICS="+metrics,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(stdout)
+	line, err := r.ReadString('\n')
+	if err != nil || line != "ready\n" {
+		t.Fatalf("helper announcement: %q, %v\n%s", line, err, stderr.String())
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	if code := cmd.ProcessState.ExitCode(); code != 128+int(syscall.SIGTERM) {
+		t.Fatalf("exit code %d, want %d\n%s", code, 128+int(syscall.SIGTERM), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "flushing profiles") {
+		t.Errorf("no flush notice on stderr:\n%s", stderr.String())
+	}
+
+	// The CPU profile is a gzipped protobuf; the magic proves pprof's
+	// writer ran to completion rather than being truncated mid-stream.
+	prof, err := os.ReadFile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) < 2 || prof[0] != 0x1f || prof[1] != 0x8b {
+		t.Errorf("CPU profile is not a finished pprof stream (%d bytes)", len(prof))
+	}
+
+	traceRaw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceRaw, &doc); err != nil {
+		t.Fatalf("flushed trace is not valid JSON: %v", err)
+	}
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "spin" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("flushed trace is missing the recorded span")
+	}
+
+	metricsRaw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(metricsRaw, &snap); err != nil {
+		t.Fatalf("flushed metrics are not valid JSON: %v", err)
+	}
+	if snap.Counters["conv.records"] != 7 {
+		t.Errorf("flushed conv.records = %d, want 7", snap.Counters["conv.records"])
+	}
+}
+
+// TestMetricsEndpointSmoke is the live-endpoint smoke test: a session
+// under -metrics-addr must serve a scrapeable /metrics (with runtime
+// gauges) and /progress, and tear down cleanly.
+func TestMetricsEndpointSmoke(t *testing.T) {
+	fs := flag.NewFlagSet("live", flag.ContinueOnError)
+	flags := Register(fs)
+	if err := fs.Parse([]string{"-metrics-addr", "127.0.0.1:0", "-heartbeat", "10ms"}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := flags.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Registry() == nil || sess.View() == nil {
+		t.Fatal("-metrics-addr session has no registry or world view")
+	}
+	if obs.Default() != sess.Registry() {
+		t.Error("session registry not installed as the process default")
+	}
+	sess.Registry().Counter("conv.records").Add(5)
+
+	addr := sess.ServerAddr()
+	if addr == "" {
+		t.Fatal("no resolved server address")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"conv_records 5",
+		"# TYPE conv_records counter",
+		"go_goroutines ",
+		"process_uptime_seconds",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p obs.Progress
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatalf("/progress is not valid JSON: %v\n%s", err, body)
+	}
+	if p.Records != 5 {
+		t.Errorf("/progress records = %d, want 5", p.Records)
+	}
+
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if obs.Default() != nil {
+		t.Error("Close left the default registry installed")
+	}
+	// The endpoint is gone after Close.
+	cl := http.Client{Timeout: 500 * time.Millisecond}
+	if _, err := cl.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("endpoint still serving after Close")
+	}
+}
