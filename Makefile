@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-decode race-convert race-mpinet race-kern race-obs vet staticcheck fmt-check bench-smoke bench-decode bench-convert bench-kern metrics-smoke metrics-endpoint-smoke fuzz-frame fuzz-kern ci
+.PHONY: all build test race race-decode race-convert race-mpinet race-kern race-obs race-shard vet staticcheck fmt-check bench-smoke bench-decode bench-convert bench-kern bench-shard metrics-smoke metrics-endpoint-smoke fuzz-frame fuzz-kern fuzz-index ci
 
 all: build
 
@@ -53,6 +53,13 @@ race-kern:
 race-obs:
 	$(GO) test -race -count=1 ./internal/obs ./internal/mpi ./internal/mpinet ./internal/obsflag
 
+# Focused race run over the genomic-range shard layer: the providers
+# and the work-stealing drain, the index machinery they cut shards
+# from, and the three analyses that ride them — all of whose identity
+# tests drive shards across goroutines and both rank transports.
+race-shard:
+	$(GO) test -race -count=1 ./internal/shard ./internal/bam ./internal/bamx ./internal/flagstat ./internal/hist ./internal/peaks
+
 # A short deterministic fuzz pass over the wire-frame decoder: corrupt
 # frames must error, never panic or over-allocate.
 fuzz-frame:
@@ -64,6 +71,11 @@ fuzz-kern:
 	$(GO) test -run '^$$' -fuzz 'FuzzUnpackSeq' -fuzztime 10s ./internal/kern
 	$(GO) test -run '^$$' -fuzz 'FuzzShiftQual' -fuzztime 10s ./internal/kern
 	$(GO) test -run '^$$' -fuzz 'FuzzParseUint' -fuzztime 10s ./internal/kern
+
+# Short fuzz pass over the BAI reader: corrupt index bytes must error,
+# never panic, and every accepted index must re-serialise byte-for-byte.
+fuzz-index:
+	$(GO) test -run '^$$' -fuzz 'FuzzReadIndex' -fuzztime 10s ./internal/bam
 
 vet:
 	$(GO) vet ./...
@@ -92,6 +104,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchtime 1x ./internal/obs
 	$(GO) test -run '^$$' -bench 'BenchmarkConvertSAM$$' -benchtime 1x ./internal/conv
 	$(GO) test -run '^$$' -bench 'BenchmarkKernSpeedup' -benchtime 1x ./internal/kern
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedSpeedup' -benchtime 1x ./internal/shard
 
 # Real measurement of the BAM decode worker sweep (sequential baseline
 # vs bam.ParallelScanner at 1/2/4/8 workers), recorded for comparison
@@ -150,6 +163,26 @@ bench-kern:
 	} > BENCH_kern.json; \
 	echo "wrote BENCH_kern.json"
 
+# Real measurement of region-parallel whole-genome flagstat: the worker
+# sweep over both shard providers against the single-stream baselines,
+# and the paired before/after run whose "speedup" metric is the
+# headline number (per-side minima keep the ratio meaningful on hosts
+# with CPU steal).
+bench-shard:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkShardedAnalysis' -benchtime 3x ./internal/shard && \
+		$(GO) test -run '^$$' -bench 'BenchmarkShardedSpeedup$$' -benchtime 10x ./internal/shard); \
+	status=$$?; echo "$$out"; [ $$status -eq 0 ] || exit $$status; \
+	{ \
+		echo '{'; \
+		echo '  "benchmark": "BenchmarkShardedAnalysis",'; \
+		echo "  \"cpus\": $$(nproc),"; \
+		echo '  "output": ['; \
+		echo "$$out" | sed 's/\\/\\\\/g; s/"/\\"/g; s/\t/\\t/g; s/^/    "/; s/$$/",/' | sed '$$ s/,$$//'; \
+		echo '  ]'; \
+		echo '}'; \
+	} > BENCH_shard.json; \
+	echo "wrote BENCH_shard.json"
+
 # End-to-end telemetry check: a real conversion run must produce a
 # metrics snapshot with the documented schema (MPI wait, codec
 # pipeline gauges, phase walls) and a non-empty trace.
@@ -163,5 +196,5 @@ metrics-endpoint-smoke:
 	$(GO) test -run 'TestMetricsEndpointSmoke|TestSIGTERMFlushesProfiles' -count=1 ./internal/obsflag
 	$(GO) test -run 'TestSubprocessObs' -count=1 ./internal/mpinet
 
-ci: vet staticcheck fmt-check build race race-decode race-convert race-mpinet race-kern race-obs bench-smoke metrics-smoke metrics-endpoint-smoke
+ci: vet staticcheck fmt-check build race race-decode race-convert race-mpinet race-kern race-obs race-shard bench-smoke metrics-smoke metrics-endpoint-smoke
 	@echo "ci: all checks passed"

@@ -1,11 +1,16 @@
-// Command ngsstat runs the parallel statistical analysis module over
-// histogram datasets: non-local means denoising and false discovery rate
-// computation.
+// Command ngsstat runs the parallel statistical analysis module:
+// coverage histogram construction region-parallel over genomic shards,
+// non-local means denoising, and false discovery rate computation.
 //
 // Usage:
 //
+//	ngsstat -op hist -bam chip.bam -rname chr1 -bin 200 -out chip.hist.tsv -p 4
 //	ngsstat -op nlmeans -in chip.hist.tsv -out denoised.tsv -r 80 -l 15 -sigma 10 -p 8
 //	ngsstat -op fdr -in chip.hist.tsv -sims 'chip.sim*.tsv' -pt 20 -p 8
+//
+// With -transport tcp the hist path becomes one rank of a multi-process
+// world: rank 0 scatters shard descriptors and reduces the per-rank
+// partial histograms.
 package main
 
 import (
@@ -17,30 +22,97 @@ import (
 
 	"parseq"
 	"parseq/internal/hist"
+	"parseq/internal/mpiflag"
+	"parseq/internal/obsflag"
+	"parseq/internal/shard"
 )
 
 func main() {
 	var (
-		op    = flag.String("op", "", "operation: nlmeans or fdr")
-		in    = flag.String("in", "", "histogram dataset (one value per line)")
-		out   = flag.String("out", "", "output path (nlmeans)")
-		r     = flag.Int("r", 20, "NL-means search range radius")
-		l     = flag.Int("l", 15, "NL-means half patch size")
-		sigma = flag.Float64("sigma", 10, "NL-means filtering parameter")
-		cores = flag.Int("p", 1, "parallel workers/ranks")
-		sims  = flag.String("sims", "", "glob of simulation datasets (fdr)")
-		pt    = flag.Float64("pt", 1, "FDR threshold p_t")
+		op       = flag.String("op", "", "operation: hist, nlmeans or fdr")
+		in       = flag.String("in", "", "histogram dataset (one value per line)")
+		bam      = flag.String("bam", "", "BAM or BAMX file (hist)")
+		rname    = flag.String("rname", "", "reference name to histogram (hist)")
+		bin      = flag.Int("bin", 200, "histogram bin width in bases (hist)")
+		shards   = flag.Int("shards", 0, "target shard count across the world (0: auto)")
+		workers  = flag.Int("workers", 0, "shard workers per rank (0: one per CPU, capped)")
+		out      = flag.String("out", "", "output path (hist, nlmeans)")
+		r        = flag.Int("r", 20, "NL-means search range radius")
+		l        = flag.Int("l", 15, "NL-means half patch size")
+		sigma    = flag.Float64("sigma", 10, "NL-means filtering parameter")
+		cores    = flag.Int("p", 1, "parallel workers/ranks")
+		sims     = flag.String("sims", "", "glob of simulation datasets (fdr)")
+		pt       = flag.Float64("pt", 1, "FDR threshold p_t")
+		obsFlags = obsflag.Register(nil)
+		mpiFlags = mpiflag.Register(nil)
 	)
 	flag.Parse()
-	if *in == "" || *op == "" {
-		fmt.Fprintln(os.Stderr, "ngsstat: -op and -in are required")
+	if *op == "" {
+		fmt.Fprintln(os.Stderr, "ngsstat: -op is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	histogram := readTSV(*in)
+	obsSession, err := obsFlags.Start()
+	if err != nil {
+		die(err)
+	}
+	defer func() {
+		if err := obsSession.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ngsstat:", err)
+		}
+	}()
+	mpiSession, err := mpiFlags.Connect()
+	if err != nil {
+		die(err)
+	}
+	defer mpiSession.Close()
+	mpiSession.StartTelemetry(obsSession.View(), obsFlags.Heartbeat)
+	if addr := obsSession.ServerAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "ngsstat: serving metrics on http://%s/metrics\n", addr)
+	}
+	*cores = mpiSession.Ranks(*cores)
 
 	switch *op {
+	case "hist":
+		if *bam == "" || *rname == "" {
+			die(fmt.Errorf("-op hist requires -bam and -rname"))
+		}
+		p := shard.OpenPathProvider(*bam)
+		defer p.Close()
+		h, err := hist.FromProvider(p, *rname, *bin, shard.Config{
+			Ranks:        *cores,
+			Workers:      *workers,
+			TargetShards: *shards,
+			Launch:       mpiSession.Launcher(),
+		})
+		if err != nil {
+			die(err)
+		}
+		// Under a distributed launch only rank 0 holds the reduced
+		// histogram; other ranks exit quietly.
+		if mpiSession.Rank() != 0 {
+			return
+		}
+		dst := *out
+		if dst == "" {
+			dst = *bam + ".hist.tsv"
+		}
+		f, err := os.Create(dst)
+		if err != nil {
+			die(err)
+		}
+		if err := hist.WriteTSV(f, h.Bins); err != nil {
+			f.Close()
+			die(err)
+		}
+		if err := f.Close(); err != nil {
+			die(err)
+		}
+		fmt.Printf("histogrammed %s into %d bins of %d bases → %s\n",
+			*rname, len(h.Bins), *bin, dst)
+
 	case "nlmeans":
+		histogram := requireTSV(*in, *op)
 		p := parseq.NLMeansParams{R: *r, L: *l, Sigma: *sigma}
 		denoised, err := parseq.DenoiseParallel(histogram, p, *cores)
 		if err != nil {
@@ -65,6 +137,7 @@ func main() {
 			len(denoised), *r, *l, *sigma, *cores, dst)
 
 	case "fdr":
+		histogram := requireTSV(*in, *op)
 		if *sims == "" {
 			die(fmt.Errorf("-op fdr requires -sims"))
 		}
@@ -88,8 +161,15 @@ func main() {
 			*pt, v, len(histogram), len(simData), *cores)
 
 	default:
-		die(fmt.Errorf("unknown -op %q (want nlmeans or fdr)", *op))
+		die(fmt.Errorf("unknown -op %q (want hist, nlmeans or fdr)", *op))
 	}
+}
+
+func requireTSV(path, op string) []float64 {
+	if path == "" {
+		die(fmt.Errorf("-op %s requires -in", op))
+	}
+	return readTSV(path)
 }
 
 func readTSV(path string) []float64 {

@@ -100,7 +100,11 @@ func (idx *Index) Query(refID, beg, end int) []Chunk {
 	sort.Slice(out, func(i, j int) bool { return out[i].Beg < out[j].Beg })
 	merged := out[:0]
 	for _, c := range out {
-		if n := len(merged); n > 0 && c.Beg <= merged[n-1].End {
+		// Merge overlapping chunks, and also chunks whose gap stays within
+		// one compressed BGZF block: a "seek" there re-inflates the block
+		// the reader already holds, so splitting the run buys nothing and
+		// costs a full block decompression per extra chunk on wide queries.
+		if n := len(merged); n > 0 && c.Beg.Block() <= merged[n-1].End.Block() {
 			if c.End > merged[n-1].End {
 				merged[n-1].End = c.End
 			}
@@ -109,6 +113,109 @@ func (idx *Index) Query(refID, beg, end int) []Chunk {
 		}
 	}
 	return merged
+}
+
+// RefSpan returns the lowest and highest virtual offsets of refID's
+// indexed chunks — the compressed byte range holding the reference's
+// alignments. ok is false when the reference has no indexed data.
+func (idx *Index) RefSpan(refID int) (beg, end bgzf.VOffset, ok bool) {
+	if refID < 0 || refID >= len(idx.refs) {
+		return 0, 0, false
+	}
+	for _, chunks := range idx.refs[refID].bins {
+		for _, c := range chunks {
+			if !ok || c.Beg < beg {
+				beg = c.Beg
+			}
+			if !ok || c.End > end {
+				end = c.End
+			}
+			ok = true
+		}
+	}
+	return beg, end, ok
+}
+
+// EndOffset returns the largest chunk end across every reference: where
+// the unmapped tail of a coordinate-sorted file begins. Zero when the
+// index holds no mapped records.
+func (idx *Index) EndOffset() bgzf.VOffset {
+	var end bgzf.VOffset
+	for refID := range idx.refs {
+		if _, e, ok := idx.RefSpan(refID); ok && e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// LinearWindowBases is the base width of one linear-index window: the
+// granularity at which ByteSplits can cut a reference.
+const LinearWindowBases = 1 << linearShift
+
+// RefSlice is one contiguous piece of a reference produced by
+// ByteSplits: a zero-based half-open base interval and the estimated
+// compressed bytes of the alignments starting under it.
+type RefSlice struct {
+	Beg, End int
+	Bytes    int64
+}
+
+// ByteSplits cuts refID's [0, refLen) into contiguous slices of roughly
+// targetBytes estimated compressed bytes each, cutting only on
+// linear-index window boundaries. The estimate derives from the linear
+// index's per-window minimum offsets, so balance reflects the on-disk
+// compressed distribution of alignments rather than base-pair width —
+// a pileup hotspot splits fine, a desert collapses into one slice.
+// Returns nil when the reference has no indexed data.
+func (idx *Index) ByteSplits(refID, refLen int, targetBytes int64) []RefSlice {
+	beg, end, ok := idx.RefSpan(refID)
+	if !ok {
+		return nil
+	}
+	lin := idx.refs[refID].linear
+	// Estimated compressed byte offset at each window boundary w (for w
+	// in [0, len(lin)]): the carry-forward of the windows' minimum block
+	// offsets, clamped monotonic, closed by the reference's span end.
+	offs := make([]int64, len(lin)+1)
+	prev := beg.Block()
+	for w, v := range lin {
+		if v != 0 && v.Block() > prev {
+			prev = v.Block()
+		}
+		offs[w] = prev
+	}
+	offs[len(lin)] = end.Block()
+	if offs[len(lin)] < prev {
+		offs[len(lin)] = prev
+	}
+	total := offs[len(lin)] - offs[0]
+	if targetBytes < 1 || targetBytes > total {
+		targetBytes = total
+	}
+	// The last slice must cover every base an alignment can start on.
+	maxBase := refLen
+	if lb := len(lin) << linearShift; lb > maxBase {
+		maxBase = lb
+	}
+	var out []RefSlice
+	cut := 0 // window index of the current slice's start
+	for w := 0; w < len(lin); w++ {
+		if bytes := offs[w+1] - offs[cut]; bytes >= targetBytes && w+1 < len(lin) {
+			out = append(out, RefSlice{
+				Beg:   cut << linearShift,
+				End:   (w + 1) << linearShift,
+				Bytes: bytes,
+			})
+			cut = w + 1
+		}
+	}
+	out = append(out, RefSlice{
+		Beg:   cut << linearShift,
+		End:   maxBase,
+		Bytes: offs[len(lin)] - offs[cut],
+	})
+	return out
 }
 
 // NumRefs returns the number of references the index covers.

@@ -47,10 +47,12 @@ func applyOptions(opts []Option) codecOptions {
 // Reader decodes a BAM stream: the BAM header (SAM header text plus the
 // binary reference dictionary) eagerly, then one record per Read call.
 type Reader struct {
-	bg     bgzf.BlockReader
-	header *sam.Header
-	buf    []byte // reusable record-body buffer
-	err    error
+	bg        bgzf.BlockReader
+	header    *sam.Header
+	dataStart bgzf.VOffset // virtual offset of the first record
+	buf       []byte       // reusable record-body buffer
+	sizeBuf   [4]byte      // block_size scratch; a local would escape per call
+	err       error
 }
 
 // NewReader wraps a BGZF-compressed BAM stream and decodes the header.
@@ -71,6 +73,7 @@ func NewReader(r io.Reader, opts ...Option) (*Reader, error) {
 		br.Close()
 		return nil, err
 	}
+	br.dataStart = br.bg.Offset()
 	return br, nil
 }
 
@@ -141,6 +144,11 @@ func (br *Reader) Header() *sam.Header { return br.header }
 // Offset returns the virtual offset of the next record.
 func (br *Reader) Offset() bgzf.VOffset { return br.bg.Offset() }
 
+// DataStart returns the virtual offset of the first record — just past
+// the header. Seeking here rewinds the stream to the record section,
+// which an empty index (no mapped records) cannot describe.
+func (br *Reader) DataStart() bgzf.VOffset { return br.dataStart }
+
 // Seek positions the reader at a virtual offset previously obtained from
 // Offset or from an index.
 func (br *Reader) Seek(v bgzf.VOffset) error {
@@ -179,15 +187,14 @@ func (br *Reader) ReadBody() ([]byte, error) {
 	if br.err != nil {
 		return nil, br.err
 	}
-	var sizeBuf [4]byte
-	if _, err := io.ReadFull(br.bg, sizeBuf[:]); err != nil {
+	if _, err := io.ReadFull(br.bg, br.sizeBuf[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			err = fmt.Errorf("%w: truncated record size", ErrInvalidRecord)
 		}
 		br.err = err
 		return nil, err
 	}
-	size := int(int32(binary.LittleEndian.Uint32(sizeBuf[:])))
+	size := int(int32(binary.LittleEndian.Uint32(br.sizeBuf[:])))
 	if size < 32 {
 		br.err = fmt.Errorf("%w: block_size %d", ErrInvalidRecord, size)
 		return nil, br.err

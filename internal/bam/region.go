@@ -71,16 +71,32 @@ func BuildFileIndexWorkers(r io.Reader, workers int) (*Index, error) {
 	}
 }
 
+// BodySpan is bodySpan for callers outside the package (the shard
+// provider's zero-decode tallies): refID, zero-based start, and
+// zero-based exclusive end of an encoded record body.
+func BodySpan(body []byte) (refID int32, beg, end int) {
+	return bodySpan(body)
+}
+
 // RegionReader iterates the records of an indexed BAM file that overlap
 // one zero-based half-open reference interval, in file order.
+//
+// Two membership modes exist. The default keeps every record whose span
+// *overlaps* [beg, end) — the samtools-view contract, where a record
+// straddling a boundary appears in both adjacent regions. The shard
+// mode (NewShardRegionReader) keeps only records that *start* in
+// [beg, end), so a partition of a reference into half-open intervals
+// yields every record exactly once — the property region-parallel
+// analysis needs to merge per-shard tallies without double counting.
 type RegionReader struct {
-	br       *Reader
-	chunks   []Chunk
-	chunk    int
-	inChunk  bool
-	refID    int32
-	beg, end int
-	err      error
+	br          *Reader
+	chunks      []Chunk
+	chunk       int
+	inChunk     bool
+	refID       int32
+	beg, end    int
+	startWithin bool
+	err         error
 }
 
 // NewRegionReader positions a reader over the records overlapping
@@ -99,6 +115,18 @@ func NewRegionReader(br *Reader, idx *Index, refName string, beg, end int) (*Reg
 	}, nil
 }
 
+// NewShardRegionReader is NewRegionReader in start-within mode: only
+// records whose alignment starts in [beg, end) are returned, so
+// adjacent shards never both claim a boundary-spanning record.
+func NewShardRegionReader(br *Reader, idx *Index, refName string, beg, end int) (*RegionReader, error) {
+	rr, err := NewRegionReader(br, idx, refName, beg, end)
+	if err != nil {
+		return nil, err
+	}
+	rr.startWithin = true
+	return rr, nil
+}
+
 // Read returns the next overlapping record, or io.EOF.
 func (rr *RegionReader) Read() (sam.Record, error) {
 	var rec sam.Record
@@ -106,21 +134,23 @@ func (rr *RegionReader) Read() (sam.Record, error) {
 	return rec, err
 }
 
-// ReadInto decodes the next overlapping record into rec, or returns
-// io.EOF when the region is exhausted.
-func (rr *RegionReader) ReadInto(rec *sam.Record) error {
+// NextBody returns the next in-region record's encoded body without
+// decoding it — the zero-allocation path under CountRegion and the
+// shard tallies. The slice aliases the reader's internal buffer and is
+// valid only until the next call. Returns io.EOF when exhausted.
+func (rr *RegionReader) NextBody() ([]byte, error) {
 	if rr.err != nil {
-		return rr.err
+		return nil, rr.err
 	}
 	for {
 		if !rr.inChunk {
 			if rr.chunk >= len(rr.chunks) {
 				rr.err = io.EOF
-				return rr.err
+				return nil, rr.err
 			}
 			if err := rr.br.Seek(rr.chunks[rr.chunk].Beg); err != nil {
 				rr.err = err
-				return err
+				return nil, err
 			}
 			rr.inChunk = true
 		}
@@ -137,7 +167,7 @@ func (rr *RegionReader) ReadInto(rec *sam.Record) error {
 		}
 		if err != nil {
 			rr.err = err
-			return err
+			return nil, err
 		}
 		refID, beg, end := bodySpan(body)
 		if refID != rr.refID {
@@ -154,34 +184,107 @@ func (rr *RegionReader) ReadInto(rec *sam.Record) error {
 			rr.inChunk = false
 			continue
 		}
-		if end <= rr.beg {
+		if rr.startWithin {
+			if beg < rr.beg {
+				continue
+			}
+		} else if end <= rr.beg {
 			continue
 		}
-		if err := DecodeRecord(body, rec, rr.br.Header()); err != nil {
-			rr.err = err
-			return err
-		}
-		return nil
+		return body, nil
 	}
 }
 
+// ReadInto decodes the next overlapping record into rec, or returns
+// io.EOF when the region is exhausted.
+func (rr *RegionReader) ReadInto(rec *sam.Record) error {
+	body, err := rr.NextBody()
+	if err != nil {
+		return err
+	}
+	if err := DecodeRecord(body, rec, rr.br.Header()); err != nil {
+		rr.err = err
+		return err
+	}
+	return nil
+}
+
 // CountRegion returns how many records overlap the region — the cheap
-// index-backed census operation.
+// index-backed census operation. It walks record bodies without
+// decoding them, so the loop allocates nothing per record.
 func CountRegion(br *Reader, idx *Index, refName string, beg, end int) (int, error) {
 	rr, err := NewRegionReader(br, idx, refName, beg, end)
 	if err != nil {
 		return 0, err
 	}
 	n := 0
-	var rec sam.Record
 	for {
-		if err := rr.ReadInto(&rec); err == io.EOF {
+		if _, err := rr.NextBody(); err == io.EOF {
 			return n, nil
 		} else if err != nil {
 			return n, err
 		}
 		n++
 	}
+}
+
+// UnmappedTailReader iterates the fully unmapped records a
+// coordinate-sorted BAM file places after the last mapped alignment.
+// Paired with a start-within partition of every reference, it completes
+// an exactly-once cover of the file: placed records come from exactly
+// one region shard, placeless ones (refID -1) from exactly one tail
+// shard. Records still carrying a reference are filtered out, so chunk
+// ends that round up into the tail's first block cannot double count.
+type UnmappedTailReader struct {
+	br  *Reader
+	err error
+}
+
+// NewUnmappedTailReader positions br at the end of the last indexed
+// chunk (the start of the record section when the index holds no mapped
+// records) and returns the tail iterator.
+func NewUnmappedTailReader(br *Reader, idx *Index) (*UnmappedTailReader, error) {
+	off := idx.EndOffset()
+	if off == 0 {
+		off = br.DataStart()
+	}
+	if err := br.Seek(off); err != nil {
+		return nil, err
+	}
+	return &UnmappedTailReader{br: br}, nil
+}
+
+// NextBody returns the next unmapped record's encoded body, or io.EOF.
+// The slice aliases the reader's internal buffer and is valid only
+// until the next call.
+func (ur *UnmappedTailReader) NextBody() ([]byte, error) {
+	if ur.err != nil {
+		return nil, ur.err
+	}
+	for {
+		body, err := ur.br.ReadBody()
+		if err != nil {
+			ur.err = err
+			return nil, err
+		}
+		if refID := int32(binary.LittleEndian.Uint32(body[0:])); refID >= 0 {
+			continue
+		}
+		return body, nil
+	}
+}
+
+// ReadInto decodes the next unmapped record into rec, or returns io.EOF.
+func (ur *UnmappedTailReader) ReadInto(rec *sam.Record) error {
+	body, err := ur.NextBody()
+	if err != nil {
+		return err
+	}
+	if err := DecodeRecord(body, rec, ur.br.Header()); err != nil {
+		ur.err = err
+		return err
+	}
+	return nil
 }
 
 // WriteIndexFile builds and writes a .bai file for a BAM file opened via

@@ -333,3 +333,11 @@ func (f *File) Decode(raw []byte, rec *sam.Record) error {
 	}
 	return bam.DecodeRecord(body, rec, f.header)
 }
+
+// AppendBody reassembles the contiguous BAM record body from one raw
+// fixed-stride record, appending to dst — the zero-decode path for
+// body-level tallies over BAMX shards. Callers reuse dst across records
+// to keep the loop allocation-free.
+func (f *File) AppendBody(dst, raw []byte) ([]byte, error) {
+	return unpadRecord(dst, raw, f.caps)
+}

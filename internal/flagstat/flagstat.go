@@ -35,7 +35,23 @@ type Stats struct {
 
 // Add accumulates one record.
 func (s *Stats) Add(rec *sam.Record) {
-	f := rec.Flag
+	s.tally(rec.Flag, rec.RName != "*")
+}
+
+// AddBody accumulates one BAM-encoded record body without decoding it —
+// the shard hot loop. Only the flag and reference-ID words are read, so
+// the call is equivalent to Add on the decoded record (RName is "*"
+// exactly when refID is negative) at none of DecodeRecord's per-field
+// allocation cost.
+func (s *Stats) AddBody(body []byte) {
+	f := sam.Flag(binary.LittleEndian.Uint16(body[14:]))
+	refID := int32(binary.LittleEndian.Uint32(body[0:]))
+	s.tally(f, refID >= 0)
+}
+
+// tally is the shared counting core of Add and AddBody. hasRef reports
+// whether the record is placed on a real reference.
+func (s *Stats) tally(f sam.Flag, hasRef bool) {
 	s.Total++
 	if f.Secondary() {
 		s.Secondary++
@@ -49,7 +65,7 @@ func (s *Stats) Add(rec *sam.Record) {
 	if f&sam.FlagQCFail != 0 {
 		s.QCFail++
 	}
-	if f.Mapped() && rec.RName != "*" {
+	if f.Mapped() && hasRef {
 		s.Mapped++
 	}
 	if !f.Paired() {

@@ -131,6 +131,12 @@ var MetricNames = []MetricInfo{
 	{"go.sched_latency_p50_ns", KindGauge, "median goroutine scheduling latency"},
 	{"go.sched_latency_p99_ns", KindGauge, "p99 goroutine scheduling latency"},
 
+	// Genomic-range shard layer (internal/shard).
+	{"shard.count", KindCounter, "region shards drained by this process's workers"},
+	{"shard.bytes", KindCounter, "estimated compressed bytes under the drained shards"},
+	{"shard.steal", KindCounter, "shards a worker pulled beyond its first (dynamic-queue steals)"},
+	{"shard.skew", KindGauge, "per-mille ratio of the busiest worker's shard bytes to the mean"},
+
 	// World-level telemetry derived by rank 0's gather (world.go).
 	{"world.size", KindGauge, "ranks known to the telemetry gather"},
 	{"world.straggler", KindGauge, "ranks whose progress lags the world median"},

@@ -1,0 +1,25 @@
+package peaks
+
+import (
+	"parseq/internal/hist"
+	"parseq/internal/shard"
+)
+
+// CoveragePeaks runs the whole calling pipeline region-parallel: the
+// coverage histogram for rname builds over the shard provider
+// (hist.FromProvider — byte-balanced shards across ranks and workers),
+// then the FDR threshold is selected from candidates and peaks are
+// called at it. It returns the peaks, the underlying histogram, the
+// chosen threshold and its FDR estimate. Because the sharded histogram
+// is identical to a sequential scan, so are the calls.
+func CoveragePeaks(p shard.Provider, rname string, binSize int, sims [][]float64, candidates []float64, opts Options, cfg shard.Config) ([]Peak, *hist.Histogram, float64, float64, error) {
+	h, err := hist.FromProvider(p, rname, binSize, cfg)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	ps, pt, fdr, err := CallWithFDR(h.Bins, sims, candidates, opts)
+	if err != nil {
+		return nil, h, 0, 0, err
+	}
+	return ps, h, pt, fdr, nil
+}

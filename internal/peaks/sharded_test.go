@@ -1,0 +1,70 @@
+package peaks
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"parseq/internal/hist"
+	"parseq/internal/shard"
+	"parseq/internal/simdata"
+)
+
+// TestCoveragePeaksMatchesSequential: the region-parallel pipeline must
+// call exactly the peaks a sequential histogram produces — the sharded
+// histogram is identical, so the downstream FDR selection and calls
+// must be too, at any shard count.
+func TestCoveragePeaksMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	d := simdata.Generate(simdata.DefaultConfig(3000))
+	bamPath := filepath.Join(dir, "data.bam")
+	f, err := os.Create(bamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteBAM(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rname := d.Header.Refs[0].Name
+	const binSize = 500
+	seq, err := hist.Coverage(d.Records, d.Header, rname, binSize)
+	if err != nil {
+		t.Fatalf("Coverage: %v", err)
+	}
+	sims := [][]float64{
+		simdata.Histogram(len(seq.Bins), 7),
+		simdata.Histogram(len(seq.Bins), 8),
+		simdata.Histogram(len(seq.Bins), 9),
+	}
+	candidates := []float64{0, 1, 2}
+	opts := Options{MaxGap: 1, MinWidth: 1}
+	wantPeaks, wantPT, wantFDR, err := CallWithFDR(seq.Bins, sims, candidates, opts)
+	if err != nil {
+		t.Fatalf("CallWithFDR: %v", err)
+	}
+
+	for _, shards := range []int{1, 4, 8} {
+		p := shard.NewBAMProvider(bamPath)
+		ps, h, pt, fdr, err := CoveragePeaks(p, rname, binSize, sims, candidates, opts, shard.Config{
+			Ranks:        2,
+			Workers:      2,
+			TargetShards: shards,
+		})
+		p.Close()
+		if err != nil {
+			t.Fatalf("shards=%d: CoveragePeaks: %v", shards, err)
+		}
+		if !reflect.DeepEqual(h.Bins, seq.Bins) {
+			t.Fatalf("shards=%d: histogram differs from sequential", shards)
+		}
+		if !reflect.DeepEqual(ps, wantPeaks) || pt != wantPT || fdr != wantFDR {
+			t.Fatalf("shards=%d: calls differ: got %d peaks pt=%v fdr=%v, want %d peaks pt=%v fdr=%v",
+				shards, len(ps), pt, fdr, len(wantPeaks), wantPT, wantFDR)
+		}
+	}
+}

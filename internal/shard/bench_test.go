@@ -1,0 +1,219 @@
+package shard_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"parseq/internal/bam"
+	"parseq/internal/bamx"
+	"parseq/internal/flagstat"
+	"parseq/internal/sam"
+	"parseq/internal/shard"
+	"parseq/internal/simdata"
+)
+
+// benchData lazily materialises one shared benchmark dataset with its
+// persistent artifacts: BAM + .bai sidecar, BAMX + .baix sidecar. The
+// indexes are built once here the way they would be built once offline;
+// the benchmarks then measure analysis, not preprocessing.
+var benchData struct {
+	once     sync.Once
+	bamPath  string
+	bamxPath string
+	err      error
+}
+
+func benchPaths(b *testing.B) (bamPath, bamxPath string) {
+	benchData.once.Do(func() { benchData.err = buildBenchData() })
+	if benchData.err != nil {
+		b.Fatal(benchData.err)
+	}
+	return benchData.bamPath, benchData.bamxPath
+}
+
+func buildBenchData() error {
+	dir, err := os.MkdirTemp("", "shardbench")
+	if err != nil {
+		return err
+	}
+	d := simdata.Generate(simdata.DefaultConfig(60000))
+
+	bamPath := filepath.Join(dir, "bench.bam")
+	f, err := os.Create(bamPath)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteBAM(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	bf, err := os.Open(bamPath)
+	if err != nil {
+		return err
+	}
+	idx, err := bam.BuildFileIndex(bf)
+	bf.Close()
+	if err != nil {
+		return err
+	}
+	bif, err := os.Create(bamPath + ".bai")
+	if err != nil {
+		return err
+	}
+	if _, err := idx.WriteTo(bif); err != nil {
+		return err
+	}
+	if err := bif.Close(); err != nil {
+		return err
+	}
+
+	bamxPath := filepath.Join(dir, "bench.bamx")
+	xf, err := os.Create(bamxPath)
+	if err != nil {
+		return err
+	}
+	xidx, err := bamx.BuildFromRecords(xf, d.Header, d.Records)
+	if err != nil {
+		return err
+	}
+	if err := xf.Close(); err != nil {
+		return err
+	}
+	ixf, err := os.Create(filepath.Join(dir, "bench.baix"))
+	if err != nil {
+		return err
+	}
+	if _, err := xidx.WriteTo(ixf); err != nil {
+		return err
+	}
+	if err := ixf.Close(); err != nil {
+		return err
+	}
+
+	benchData.bamPath = bamPath
+	benchData.bamxPath = bamxPath
+	return nil
+}
+
+// singleStreamFlagstat is the pre-shard baseline: one sequential scan
+// of the whole BAM stream decoding every record — the natural
+// whole-file analysis loop before this layer existed.
+func singleStreamFlagstat(path string) (flagstat.Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return flagstat.Stats{}, err
+	}
+	defer f.Close()
+	br, err := bam.NewReader(f)
+	if err != nil {
+		return flagstat.Stats{}, err
+	}
+	defer br.Close()
+	var s flagstat.Stats
+	var rec sam.Record
+	for {
+		if err := br.ReadInto(&rec); err == io.EOF {
+			return s, nil
+		} else if err != nil {
+			return s, err
+		}
+		s.Add(&rec)
+	}
+}
+
+func shardedFlagstat(p shard.Provider, workers int) (flagstat.Stats, error) {
+	return flagstat.Sharded(p, shard.Config{Workers: workers})
+}
+
+// BenchmarkShardedAnalysis sweeps whole-genome flagstat over the shard
+// queue at 1/2/4/8 workers for both providers against the two
+// sequential baselines: the record-decoding single stream (the
+// pre-shard path) and the zero-decode sequential body scan. Bytes/op
+// is the BAM file size for every variant, so MB/s compares directly.
+// Providers are fresh per op — each measurement includes shard
+// generation from the persistent sidecar index, as a cold run would.
+func BenchmarkShardedAnalysis(b *testing.B) {
+	bamPath, bamxPath := benchPaths(b)
+	st, err := os.Stat(bamPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := singleStreamFlagstat(bamPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(name string, fn func() (flagstat.Stats, error)) {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(st.Size())
+			for i := 0; i < b.N; i++ {
+				got, err := fn()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatalf("result mismatch:\n got %+v\nwant %+v", got, want)
+				}
+			}
+		})
+	}
+	run("SingleStreamDecode", func() (flagstat.Stats, error) { return singleStreamFlagstat(bamPath) })
+	run("SequentialBody", func() (flagstat.Stats, error) { return flagstat.BAMFile(bamPath) })
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		run(fmt.Sprintf("ShardedBAM/workers=%d", workers), func() (flagstat.Stats, error) {
+			p := shard.NewBAMProvider(bamPath)
+			defer p.Close()
+			return shardedFlagstat(p, workers)
+		})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		run(fmt.Sprintf("ShardedBAMX/workers=%d", workers), func() (flagstat.Stats, error) {
+			p := shard.NewBAMXProvider(bamxPath)
+			defer p.Close()
+			return shardedFlagstat(p, workers)
+		})
+	}
+}
+
+// BenchmarkShardedSpeedup is the headline number: whole-genome flagstat
+// region-parallel over the preprocessed container at 4 workers against
+// the single-stream record-decoding BAM scan — the paper's pipeline
+// (transcode once, then analyse in parallel) versus the sequential
+// bottleneck it removes. Both sides run back to back inside each
+// iteration and the ratio uses per-side minima, so the metric holds up
+// on hosts with CPU steal where separately-timed runs drift.
+func BenchmarkShardedSpeedup(b *testing.B) {
+	bamPath, bamxPath := benchPaths(b)
+	minSingle, minSharded := time.Duration(1<<62), time.Duration(1<<62)
+	timer := func(fn func() error) time.Duration {
+		start := time.Now()
+		if err := fn(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := timer(func() error { _, err := singleStreamFlagstat(bamPath); return err }); d < minSingle {
+			minSingle = d
+		}
+		if d := timer(func() error {
+			p := shard.NewBAMXProvider(bamxPath)
+			defer p.Close()
+			_, err := shardedFlagstat(p, 4)
+			return err
+		}); d < minSharded {
+			minSharded = d
+		}
+	}
+	b.ReportMetric(float64(minSingle)/float64(minSharded), "speedup")
+}

@@ -1,0 +1,263 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"parseq/internal/bam"
+	"parseq/internal/sam"
+)
+
+// BAMProvider serves shards of an indexed, coordinate-sorted BAM file.
+// NewReader opens an independent file handle and BGZF stream per shard,
+// so readers run concurrently across local workers and rank goroutines
+// without shared mutable state. The index loads lazily on first use:
+// from the .bai sidecar when present, otherwise built in memory by one
+// scan (kept for the provider's lifetime).
+type BAMProvider struct {
+	path         string
+	indexPath    string
+	codecWorkers int
+
+	mu     sync.Mutex
+	header *sam.Header
+	index  *bam.Index
+	size   int64
+	loaded bool
+}
+
+// BAMOption tunes a BAMProvider.
+type BAMOption func(*BAMProvider)
+
+// WithIndexPath overrides the .bai sidecar path (default path + ".bai").
+func WithIndexPath(p string) BAMOption {
+	return func(b *BAMProvider) { b.indexPath = p }
+}
+
+// WithCodecWorkers sets the BGZF inflate worker count of each per-shard
+// reader. Shard readers default to the sequential codec: the shards
+// themselves are the parallelism, and stacking a decode pipeline per
+// shard oversubscribes the machine.
+func WithCodecWorkers(n int) BAMOption {
+	return func(b *BAMProvider) { b.codecWorkers = n }
+}
+
+// NewBAMProvider returns a provider over the BAM file at path.
+func NewBAMProvider(path string, opts ...BAMOption) *BAMProvider {
+	p := &BAMProvider{path: path, indexPath: path + ".bai"}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// load resolves the header, index and file size once, under the mutex —
+// concurrent rank goroutines share one provider.
+func (p *BAMProvider) load() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.loaded {
+		return nil
+	}
+	f, err := os.Open(p.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	br, err := bam.NewReader(f)
+	if err != nil {
+		return err
+	}
+	header := br.Header()
+	br.Close()
+
+	var idx *bam.Index
+	if inf, err := os.Open(p.indexPath); err == nil {
+		idx, err = bam.ReadIndex(inf)
+		inf.Close()
+		if err != nil {
+			return fmt.Errorf("shard: reading %s: %w", p.indexPath, err)
+		}
+	} else {
+		// No sidecar: build the index in memory from a fresh stream.
+		bf, err := os.Open(p.path)
+		if err != nil {
+			return err
+		}
+		idx, err = bam.BuildFileIndex(bf)
+		bf.Close()
+		if err != nil {
+			return err
+		}
+	}
+	p.header, p.index, p.size, p.loaded = header, idx, st.Size(), true
+	return nil
+}
+
+// Header returns the BAM header.
+func (p *BAMProvider) Header() (*sam.Header, error) {
+	if err := p.load(); err != nil {
+		return nil, err
+	}
+	return p.header, nil
+}
+
+// Index exposes the resolved BAI index (loading it if needed).
+func (p *BAMProvider) Index() (*bam.Index, error) {
+	if err := p.load(); err != nil {
+		return nil, err
+	}
+	return p.index, nil
+}
+
+// resolveRefs maps Options.Refs to reference IDs: every header
+// reference when nil, the named subset otherwise. withTail reports
+// whether the unmapped-tail shard belongs in the generation.
+func resolveRefs(h *sam.Header, opts Options) (refIDs []int, withTail bool, err error) {
+	if opts.Refs == nil {
+		refIDs = make([]int, len(h.Refs))
+		for i := range h.Refs {
+			refIDs[i] = i
+		}
+		return refIDs, true, nil
+	}
+	for _, name := range opts.Refs {
+		id := h.RefID(name)
+		if id < 0 {
+			return nil, false, fmt.Errorf("shard: reference %q not in header", name)
+		}
+		refIDs = append(refIDs, id)
+	}
+	return refIDs, false, nil
+}
+
+// GenerateShards cuts the selected references into shards of roughly
+// equal compressed size, derived from the BAI linear index, plus the
+// unmapped-tail shard for whole-file selections.
+func (p *BAMProvider) GenerateShards(opts Options) ([]Shard, error) {
+	if err := p.load(); err != nil {
+		return nil, err
+	}
+	refIDs, withTail, err := resolveRefs(p.header, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Total compressed bytes under the selection sets the per-shard goal.
+	var total int64
+	for _, id := range refIDs {
+		if beg, end, ok := p.index.RefSpan(id); ok {
+			total += end.Block() - beg.Block() + 1
+		}
+	}
+	target := opts.TargetBytes
+	if target <= 0 {
+		n := opts.TargetShards
+		if n <= 0 {
+			n = DefaultTargetShards
+		}
+		target = total / int64(n)
+	}
+	if target < 1 {
+		target = 1
+	}
+	var shards []Shard
+	for _, id := range refIDs {
+		ref := p.header.RefByID(id)
+		for _, sl := range p.index.ByteSplits(id, ref.Length, target) {
+			shards = append(shards, Shard{
+				Seq:     len(shards),
+				RefID:   int32(id),
+				RefName: ref.Name,
+				Beg:     sl.Beg,
+				End:     sl.End,
+				Bytes:   sl.Bytes,
+			})
+		}
+	}
+	if withTail {
+		tail := p.size - p.index.EndOffset().Block()
+		if tail < 0 {
+			tail = 0
+		}
+		shards = append(shards, Shard{
+			Seq:   len(shards),
+			RefID: -1,
+			Bytes: tail,
+		})
+	}
+	return shards, nil
+}
+
+// bamShardReader is one shard's independent stream: its own file handle
+// and BGZF reader, positioned by the BAI, filtered to the shard.
+type bamShardReader struct {
+	f  *os.File
+	br *bam.Reader
+	it interface {
+		ReadInto(*sam.Record) error
+		NextBody() ([]byte, error)
+	}
+}
+
+func (r *bamShardReader) ReadInto(rec *sam.Record) error { return r.it.ReadInto(rec) }
+func (r *bamShardReader) NextBody() ([]byte, error)      { return r.it.NextBody() }
+
+func (r *bamShardReader) Close() error {
+	err := r.br.Close()
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// NewReader opens an independent iterator over one shard: a start-within
+// region reader for reference shards, the unmapped-tail reader for the
+// tail.
+func (p *BAMProvider) NewReader(sh Shard) (RecordReader, error) {
+	if err := p.load(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p.path)
+	if err != nil {
+		return nil, err
+	}
+	var bopts []bam.Option
+	if p.codecWorkers > 1 {
+		bopts = append(bopts, bam.WithCodecWorkers(p.codecWorkers))
+	}
+	br, err := bam.NewReader(f, bopts...)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r := &bamShardReader{f: f, br: br}
+	if sh.Unmapped() {
+		r.it, err = bam.NewUnmappedTailReader(br, p.index)
+	} else {
+		r.it, err = bam.NewShardRegionReader(br, p.index, sh.RefName, sh.Beg, sh.End)
+	}
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Close releases the provider. Per-shard readers own their handles, so
+// this is a no-op kept for the Provider contract.
+func (p *BAMProvider) Close() error { return nil }
+
+// OpenPathProvider dispatches on the file extension: .bamx files get a
+// BAMXProvider (BAIX sidecar), everything else a BAMProvider.
+func OpenPathProvider(path string) Provider {
+	if strings.HasSuffix(path, ".bamx") {
+		return NewBAMXProvider(path)
+	}
+	return NewBAMProvider(path)
+}

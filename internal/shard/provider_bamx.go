@@ -1,0 +1,253 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"parseq/internal/bam"
+	"parseq/internal/bamx"
+	"parseq/internal/sam"
+)
+
+// BAMXProvider serves shards of a BAMX file through its BAIX index. The
+// fixed stride makes shard weights exact — every record costs the same
+// bytes — so shards split entry ranges evenly instead of estimating
+// from compression. One read-only file handle is shared by every
+// reader: ReadAt is position-less and safe concurrently.
+type BAMXProvider struct {
+	path     string
+	baixPath string
+
+	mu     sync.Mutex
+	osf    *os.File
+	file   *bamx.File
+	index  *bamx.Index
+	loaded bool
+}
+
+// NewBAMXProvider returns a provider over the BAMX file at path, with
+// its BAIX sidecar at path minus ".bamx" plus ".baix" (the bamxtool
+// convention), or rebuilt by a scan when the sidecar is missing.
+func NewBAMXProvider(path string) *BAMXProvider {
+	return &BAMXProvider{
+		path:     path,
+		baixPath: strings.TrimSuffix(path, ".bamx") + ".baix",
+	}
+}
+
+func (p *BAMXProvider) load() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.loaded {
+		return nil
+	}
+	f, err := os.Open(p.path)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	xf, err := bamx.Open(f, st.Size())
+	if err != nil {
+		f.Close()
+		return err
+	}
+	var idx *bamx.Index
+	if inf, err := os.Open(p.baixPath); err == nil {
+		idx, err = bamx.ReadIndex(inf)
+		inf.Close()
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("shard: reading %s: %w", p.baixPath, err)
+		}
+	} else if idx, err = bamx.BuildIndex(xf); err != nil {
+		f.Close()
+		return err
+	}
+	p.osf, p.file, p.index, p.loaded = f, xf, idx, true
+	return nil
+}
+
+// Header returns the embedded SAM header.
+func (p *BAMXProvider) Header() (*sam.Header, error) {
+	if err := p.load(); err != nil {
+		return nil, err
+	}
+	return p.file.Header(), nil
+}
+
+// GenerateShards splits each selected reference's BAIX entry range into
+// even record-count pieces (stride × records is the exact byte weight),
+// plus the physical tail of unmapped records for whole-file selections.
+func (p *BAMXProvider) GenerateShards(opts Options) ([]Shard, error) {
+	if err := p.load(); err != nil {
+		return nil, err
+	}
+	h := p.file.Header()
+	refIDs, withTail, err := resolveRefs(h, opts)
+	if err != nil {
+		return nil, err
+	}
+	stride := int64(p.file.Stride())
+	total := int64(p.index.Len()) * stride
+	target := opts.TargetBytes
+	if target <= 0 {
+		n := opts.TargetShards
+		if n <= 0 {
+			n = DefaultTargetShards
+		}
+		target = total / int64(n)
+	}
+	if target < stride {
+		target = stride
+	}
+	entries := p.index.Entries()
+	var shards []Shard
+	var maxPhys int64 = -1
+	for _, e := range entries {
+		if e.Index > maxPhys {
+			maxPhys = e.Index
+		}
+	}
+	for _, id := range refIDs {
+		lo, hi := p.index.RefRange(int32(id))
+		count := int64(hi - lo)
+		if count == 0 {
+			continue
+		}
+		pieces := int((count*stride + target - 1) / target)
+		if pieces < 1 {
+			pieces = 1
+		}
+		ref := h.RefByID(id)
+		for k := 0; k < pieces; k++ {
+			a := lo + int(count*int64(k)/int64(pieces))
+			b := lo + int(count*int64(k+1)/int64(pieces))
+			if a == b {
+				continue
+			}
+			shards = append(shards, Shard{
+				Seq:     len(shards),
+				RefID:   int32(id),
+				RefName: ref.Name,
+				Beg:     int(entries[a].Pos) - 1,
+				End:     int(entries[b-1].Pos),
+				RecLo:   int64(a),
+				RecHi:   int64(b),
+				Bytes:   int64(b-a) * stride,
+			})
+		}
+	}
+	if withTail {
+		physLo := maxPhys + 1
+		physHi := p.file.NumRecords()
+		shards = append(shards, Shard{
+			Seq:   len(shards),
+			RefID: -1,
+			RecLo: physLo,
+			RecHi: physHi,
+			Bytes: (physHi - physLo) * stride,
+		})
+	}
+	return shards, nil
+}
+
+// bamxShardReader iterates one shard's records by random access: BAIX
+// entry positions for region shards, the physical tail range for the
+// unmapped shard (filtered to refID < 0 as defence in depth).
+type bamxShardReader struct {
+	file    *bamx.File
+	entries []bamx.Entry // region shards; nil for the tail
+	pos     int
+	phys    int64 // tail cursor
+	physHi  int64
+	tail    bool
+	raw     []byte
+	body    []byte
+}
+
+func (r *bamxShardReader) NextBody() ([]byte, error) {
+	for {
+		var idx int64
+		if r.tail {
+			if r.phys >= r.physHi {
+				return nil, io.EOF
+			}
+			idx = r.phys
+			r.phys++
+		} else {
+			if r.pos >= len(r.entries) {
+				return nil, io.EOF
+			}
+			idx = r.entries[r.pos].Index
+			r.pos++
+		}
+		if err := r.file.ReadRaw(idx, r.raw); err != nil {
+			return nil, err
+		}
+		var err error
+		r.body, err = r.file.AppendBody(r.body[:0], r.raw)
+		if err != nil {
+			return nil, err
+		}
+		if r.tail {
+			if refID := int32(binary.LittleEndian.Uint32(r.body[0:])); refID >= 0 {
+				continue
+			}
+		}
+		return r.body, nil
+	}
+}
+
+func (r *bamxShardReader) ReadInto(rec *sam.Record) error {
+	body, err := r.NextBody()
+	if err != nil {
+		return err
+	}
+	return bam.DecodeRecord(body, rec, r.file.Header())
+}
+
+// Close is a no-op: the file handle belongs to the provider.
+func (r *bamxShardReader) Close() error { return nil }
+
+// NewReader opens an iterator over one shard.
+func (p *BAMXProvider) NewReader(sh Shard) (RecordReader, error) {
+	if err := p.load(); err != nil {
+		return nil, err
+	}
+	r := &bamxShardReader{
+		file: p.file,
+		raw:  make([]byte, p.file.Stride()),
+	}
+	if sh.Unmapped() {
+		r.tail = true
+		r.phys, r.physHi = sh.RecLo, sh.RecHi
+	} else {
+		lo, hi := int(sh.RecLo), int(sh.RecHi)
+		entries := p.index.Entries()
+		if lo < 0 || hi < lo || hi > len(entries) {
+			return nil, fmt.Errorf("shard: BAIX record range [%d, %d) out of bounds [0, %d)", lo, hi, len(entries))
+		}
+		r.entries = entries[lo:hi]
+	}
+	return r, nil
+}
+
+// Close releases the shared file handle.
+func (p *BAMXProvider) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.osf == nil {
+		return nil
+	}
+	err := p.osf.Close()
+	p.osf = nil
+	return err
+}

@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"parseq/internal/obs"
+)
+
+// defaultWorkers sizes the local worker pool: the machine's parallelism,
+// capped — shard readers are I/O-plus-inflate loops that stop scaling
+// past a modest fan-out.
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEach drains shards through a pool of worker goroutines pulling
+// from one dynamic queue: a worker finishing a cheap shard immediately
+// steals the next descriptor rather than idling on a static partition,
+// so one pileup hotspot cannot serialise the run. fn receives the
+// shard's position i in shards (for indexing per-shard result slots —
+// fn must not touch any other slot), the shard, and an open reader the
+// loop closes afterwards. The first error cancels the queue and is
+// returned; remaining undrained shards are skipped.
+//
+// Telemetry (when obs is enabled): shard.count/shard.bytes for drained
+// shards, shard.steal for every pull past a worker's first, shard.skew
+// (per-mille, busiest worker's bytes over the mean) for balance, and a
+// per-shard span per worker lane feeding the trace viewer.
+func ForEach(p Provider, shards []Shard, workers int, fn func(i int, sh Shard, rr RecordReader) error) error {
+	if len(shards) == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = defaultWorkers()
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+
+	reg := obs.Default()
+	var cntC, bytesC, stealC *obs.Counter
+	var skewG *obs.Gauge
+	pid := 0
+	if reg != nil {
+		cntC = reg.Counter("shard.count")
+		bytesC = reg.Counter("shard.bytes")
+		stealC = reg.Counter("shard.steal")
+		skewG = reg.Gauge("shard.skew")
+		if reg.TracingEnabled() {
+			pid = reg.AllocPID("shard workers")
+		}
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+	perWorker := make([]int64, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for pulls := 0; ; pulls++ {
+				i := int(next.Add(1) - 1)
+				if i >= len(shards) || failed.Load() {
+					return
+				}
+				if pulls > 0 && stealC != nil {
+					stealC.Add(1)
+				}
+				sh := shards[i]
+				var span obs.Span
+				if reg != nil {
+					span = reg.StartWorkerSpan(pid, w, "shard "+sh.String())
+				}
+				err := drainOne(p, i, sh, fn)
+				span.End()
+				if err != nil {
+					fail(err)
+					return
+				}
+				perWorker[w] += shardWeight(sh)
+				if cntC != nil {
+					cntC.Add(1)
+					bytesC.Add(sh.Bytes)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if skewG != nil && firstErr == nil {
+		var sum, max int64
+		for _, b := range perWorker {
+			sum += b
+			if b > max {
+				max = b
+			}
+		}
+		if sum > 0 {
+			skewG.Set(max * 1000 * int64(workers) / sum)
+		}
+	}
+	return firstErr
+}
+
+// drainOne opens, runs and closes one shard, folding the close error in
+// after fn's (fn's wins — a close failure after a real error is noise).
+func drainOne(p Provider, i int, sh Shard, fn func(int, Shard, RecordReader) error) error {
+	rr, err := p.NewReader(sh)
+	if err != nil {
+		return err
+	}
+	ferr := fn(i, sh, rr)
+	cerr := rr.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

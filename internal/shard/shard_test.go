@@ -1,0 +1,321 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"parseq/internal/bamx"
+	"parseq/internal/mpi"
+	"parseq/internal/sam"
+	"parseq/internal/simdata"
+)
+
+// writeDataset materialises one deterministic simdata dataset as a BAM
+// file (no .bai sidecar — the provider builds the index in memory) and
+// a BAMX file with its BAIX sidecar, returning both paths.
+func writeDataset(t testing.TB, n int) (bamPath, bamxPath string, d *simdata.Dataset) {
+	t.Helper()
+	dir := t.TempDir()
+	d = simdata.Generate(simdata.DefaultConfig(n))
+
+	bamPath = filepath.Join(dir, "data.bam")
+	bf, err := os.Create(bamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteBAM(bf); err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	bamxPath = filepath.Join(dir, "data.bamx")
+	xf, err := os.Create(bamxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := bamx.BuildFromRecords(xf, d.Header, d.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ixf, err := os.Create(filepath.Join(dir, "data.baix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.WriteTo(ixf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ixf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return bamPath, bamxPath, d
+}
+
+func recordKey(rec *sam.Record) string {
+	return fmt.Sprintf("%s/%d@%s:%d", rec.QName, rec.Flag, rec.RName, rec.Pos)
+}
+
+// drainShards reads every shard through the provider and returns the
+// record multiset.
+func drainShards(t *testing.T, p Provider, shards []Shard) map[string]int {
+	t.Helper()
+	got := map[string]int{}
+	var rec sam.Record
+	for _, sh := range shards {
+		rr, err := p.NewReader(sh)
+		if err != nil {
+			t.Fatalf("NewReader(%v): %v", sh, err)
+		}
+		for {
+			if err := rr.ReadInto(&rec); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("shard %v: ReadInto: %v", sh, err)
+			}
+			got[recordKey(&rec)]++
+		}
+		if err := rr.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	return got
+}
+
+func wantMultiset(d *simdata.Dataset) map[string]int {
+	want := map[string]int{}
+	for i := range d.Records {
+		want[recordKey(&d.Records[i])]++
+	}
+	return want
+}
+
+func checkMultiset(t *testing.T, label string, got, want map[string]int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d distinct records, want %d", label, len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("%s: record %s seen %d times, want %d", label, k, got[k], n)
+		}
+	}
+}
+
+// TestProvidersExactlyOnce is the tentpole contract for both providers:
+// at every shard-count target the generated shards cover the dataset
+// exactly once, including the unmapped tail.
+func TestProvidersExactlyOnce(t *testing.T) {
+	bamPath, bamxPath, d := writeDataset(t, 3000)
+	want := wantMultiset(d)
+	providers := []struct {
+		name string
+		p    Provider
+	}{
+		{"bam", NewBAMProvider(bamPath)},
+		{"bamx", NewBAMXProvider(bamxPath)},
+	}
+	for _, tc := range providers {
+		defer tc.p.Close()
+		for _, target := range []int{1, 2, 4, 8, 64} {
+			shards, err := tc.p.GenerateShards(Options{TargetShards: target})
+			if err != nil {
+				t.Fatalf("%s: GenerateShards(%d): %v", tc.name, target, err)
+			}
+			if len(shards) == 0 {
+				t.Fatalf("%s: no shards at target %d", tc.name, target)
+			}
+			for i, sh := range shards {
+				if sh.Seq != i {
+					t.Fatalf("%s: shard %d carries Seq %d", tc.name, i, sh.Seq)
+				}
+			}
+			got := drainShards(t, tc.p, shards)
+			checkMultiset(t, fmt.Sprintf("%s target %d", tc.name, target), got, want)
+		}
+	}
+}
+
+// TestGenerateShardsRefsSubset: a named-reference selection stays on
+// those references and omits the tail.
+func TestGenerateShardsRefsSubset(t *testing.T) {
+	bamPath, bamxPath, d := writeDataset(t, 2000)
+	ref := d.Header.Refs[0].Name
+	want := map[string]int{}
+	for i := range d.Records {
+		if d.Records[i].RName == ref {
+			want[recordKey(&d.Records[i])]++
+		}
+	}
+	for _, p := range []Provider{NewBAMProvider(bamPath), NewBAMXProvider(bamxPath)} {
+		shards, err := p.GenerateShards(Options{TargetShards: 6, Refs: []string{ref}})
+		if err != nil {
+			t.Fatalf("GenerateShards: %v", err)
+		}
+		for _, sh := range shards {
+			if sh.Unmapped() || sh.RefName != ref {
+				t.Fatalf("subset generation produced shard %v", sh)
+			}
+		}
+		checkMultiset(t, "subset", drainShards(t, p, shards), want)
+		if _, err := p.GenerateShards(Options{Refs: []string{"chrNope"}}); err == nil {
+			t.Fatal("unknown reference did not error")
+		}
+		p.Close()
+	}
+}
+
+// TestPartitionByBytes checks contiguity, completeness and balance.
+func TestPartitionByBytes(t *testing.T) {
+	shards := make([]Shard, 20)
+	var total int64
+	for i := range shards {
+		shards[i] = Shard{Seq: i, Bytes: int64(1000 * (1 + i%5))}
+		total += shards[i].Bytes
+	}
+	for _, n := range []int{1, 2, 3, 7, 20, 30} {
+		groups := PartitionByBytes(shards, n)
+		if len(groups) != n {
+			t.Fatalf("n=%d: %d groups", n, len(groups))
+		}
+		seq := 0
+		for g, grp := range groups {
+			var bytes int64
+			for _, sh := range grp {
+				if sh.Seq != seq {
+					t.Fatalf("n=%d group %d: shard Seq %d, want %d (not contiguous)", n, g, sh.Seq, seq)
+				}
+				seq++
+				bytes += sh.Bytes
+			}
+			if n <= 20 && len(grp) > 0 && bytes > 2*total/int64(n)+5000 {
+				t.Fatalf("n=%d group %d holds %d bytes of %d total", n, g, bytes, total)
+			}
+		}
+		if seq != len(shards) {
+			t.Fatalf("n=%d: %d shards distributed, want %d", n, seq, len(shards))
+		}
+	}
+}
+
+// TestShardCodecRoundTrip: the wire codec is lossless and rejects
+// truncation.
+func TestShardCodecRoundTrip(t *testing.T) {
+	shards := []Shard{
+		{Seq: 0, RefID: 2, RefName: "chr3", Beg: 16384, End: 197152, RecLo: 7, RecHi: 200, Bytes: 123456},
+		{Seq: 1, RefID: -1, RecLo: 200, RecHi: 210, Bytes: 99},
+		{},
+	}
+	data := EncodeShards(shards)
+	got, err := DecodeShards(data)
+	if err != nil {
+		t.Fatalf("DecodeShards: %v", err)
+	}
+	if !reflect.DeepEqual(shards, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, shards)
+	}
+	for cut := 1; cut < len(data); cut++ {
+		if dec, err := DecodeShards(data[:cut]); err == nil && len(dec) == len(shards) {
+			t.Fatalf("truncation at %d bytes decoded fully", cut)
+		}
+	}
+	if _, err := DecodeShards(nil); err == nil {
+		t.Fatal("nil payload did not error")
+	}
+}
+
+// TestScatter: every rank of a channel world receives a contiguous
+// group and the union is the full list.
+func TestScatter(t *testing.T) {
+	shards := make([]Shard, 11)
+	for i := range shards {
+		shards[i] = Shard{Seq: i, RefName: "chr1", Beg: i * 100, End: (i + 1) * 100, Bytes: int64(100 + i)}
+	}
+	const ranks = 4
+	gotBy := make([][]Shard, ranks)
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		var all []Shard
+		if c.Rank() == 0 {
+			all = shards
+		}
+		mine, err := Scatter(c, all)
+		if err != nil {
+			return err
+		}
+		gotBy[c.Rank()] = mine
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var union []Shard
+	for _, g := range gotBy {
+		union = append(union, g...)
+	}
+	if !reflect.DeepEqual(union, shards) {
+		t.Fatalf("scattered union mismatch:\n got %+v\nwant %+v", union, shards)
+	}
+}
+
+// TestForEach: the dynamic queue visits every shard exactly once, keeps
+// the i-th result in the i-th slot, and propagates the first error.
+func TestForEach(t *testing.T) {
+	bamPath, _, _ := writeDataset(t, 1500)
+	p := NewBAMProvider(bamPath)
+	defer p.Close()
+	shards, err := p.GenerateShards(Options{TargetShards: 8})
+	if err != nil {
+		t.Fatalf("GenerateShards: %v", err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		counts := make([]int, len(shards))
+		err := ForEach(p, shards, workers, func(i int, sh Shard, rr RecordReader) error {
+			for {
+				if _, err := rr.NextBody(); err == io.EOF {
+					return nil
+				} else if err != nil {
+					return err
+				}
+				counts[i]++
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: ForEach: %v", workers, err)
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != 1500 {
+			t.Fatalf("workers=%d: drained %d records, want 1500", workers, total)
+		}
+	}
+	wantErr := fmt.Errorf("boom")
+	err = ForEach(p, shards, 4, func(i int, sh Shard, rr RecordReader) error {
+		if i == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Fatalf("ForEach error = %v, want %v", err, wantErr)
+	}
+}
+
+// TestOpenPathProvider dispatches on extension.
+func TestOpenPathProvider(t *testing.T) {
+	bamPath, bamxPath, _ := writeDataset(t, 200)
+	if _, ok := OpenPathProvider(bamPath).(*BAMProvider); !ok {
+		t.Fatal("BAM path did not open a BAMProvider")
+	}
+	if _, ok := OpenPathProvider(bamxPath).(*BAMXProvider); !ok {
+		t.Fatal("BAMX path did not open a BAMXProvider")
+	}
+}
