@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-decode race-convert race-mpinet race-kern race-obs race-shard vet staticcheck fmt-check bench-smoke bench-decode bench-convert bench-kern bench-shard metrics-smoke metrics-endpoint-smoke fuzz-frame fuzz-kern fuzz-index ci
+.PHONY: all build test race race-decode race-convert race-mpinet race-kern race-obs race-shard race-pamx vet staticcheck fmt-check bench-smoke bench-decode bench-convert bench-kern bench-shard bench-pamx metrics-smoke metrics-endpoint-smoke fuzz-frame fuzz-kern fuzz-index fuzz-pamx ci
 
 all: build
 
@@ -60,6 +60,13 @@ race-obs:
 race-shard:
 	$(GO) test -race -count=1 ./internal/shard ./internal/bam ./internal/bamx ./internal/flagstat ./internal/hist ./internal/peaks
 
+# Focused race run over the columnar PAMX layer: the column writer and
+# projecting reader (whose group decompressors run on the shared codec
+# pool), the per-group shard provider, and the two analyses whose
+# projection-equivalence tests drive PAMX shards across goroutines.
+race-pamx:
+	$(GO) test -race -count=1 ./internal/formats/pamx ./internal/shard ./internal/flagstat ./internal/hist
+
 # A short deterministic fuzz pass over the wire-frame decoder: corrupt
 # frames must error, never panic or over-allocate.
 fuzz-frame:
@@ -76,6 +83,12 @@ fuzz-kern:
 # never panic, and every accepted index must re-serialise byte-for-byte.
 fuzz-index:
 	$(GO) test -run '^$$' -fuzz 'FuzzReadIndex' -fuzztime 10s ./internal/bam
+
+# Short fuzz pass over the PAMX footer decoder: corrupt footers must
+# error, never panic, and every accepted footer must re-encode
+# byte-for-byte and survive the bounds check without panicking.
+fuzz-pamx:
+	$(GO) test -run '^$$' -fuzz 'FuzzPAMXFooter' -fuzztime 10s ./internal/formats/pamx
 
 vet:
 	$(GO) vet ./...
@@ -105,6 +118,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkConvertSAM$$' -benchtime 1x ./internal/conv
 	$(GO) test -run '^$$' -bench 'BenchmarkKernSpeedup' -benchtime 1x ./internal/kern
 	$(GO) test -run '^$$' -bench 'BenchmarkShardedSpeedup' -benchtime 1x ./internal/shard
+	$(GO) test -run '^$$' -bench 'BenchmarkPAMXSpeedup' -benchtime 1x ./internal/shard
 
 # Real measurement of the BAM decode worker sweep (sequential baseline
 # vs bam.ParallelScanner at 1/2/4/8 workers), recorded for comparison
@@ -183,6 +197,26 @@ bench-shard:
 	} > BENCH_shard.json; \
 	echo "wrote BENCH_shard.json"
 
+# Real measurement of columnar field projection: the worker sweep of
+# projected flagstat over PAMX against the row-major BAMX sharded scan,
+# and the paired run whose "speedup" and "bytes_inflated_ratio" metrics
+# are the headline numbers (projection must inflate ≤30% of the bytes
+# the row-major scan reads and beat its records/s by ≥1.5x).
+bench-pamx:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkPAMXAnalysis' -benchtime 3x ./internal/shard && \
+		$(GO) test -run '^$$' -bench 'BenchmarkPAMXSpeedup$$' -benchtime 10x ./internal/shard); \
+	status=$$?; echo "$$out"; [ $$status -eq 0 ] || exit $$status; \
+	{ \
+		echo '{'; \
+		echo '  "benchmark": "BenchmarkPAMXAnalysis",'; \
+		echo "  \"cpus\": $$(nproc),"; \
+		echo '  "output": ['; \
+		echo "$$out" | sed 's/\\/\\\\/g; s/"/\\"/g; s/\t/\\t/g; s/^/    "/; s/$$/",/' | sed '$$ s/,$$//'; \
+		echo '  ]'; \
+		echo '}'; \
+	} > BENCH_pamx.json; \
+	echo "wrote BENCH_pamx.json"
+
 # End-to-end telemetry check: a real conversion run must produce a
 # metrics snapshot with the documented schema (MPI wait, codec
 # pipeline gauges, phase walls) and a non-empty trace.
@@ -196,5 +230,5 @@ metrics-endpoint-smoke:
 	$(GO) test -run 'TestMetricsEndpointSmoke|TestSIGTERMFlushesProfiles' -count=1 ./internal/obsflag
 	$(GO) test -run 'TestSubprocessObs' -count=1 ./internal/mpinet
 
-ci: vet staticcheck fmt-check build race race-decode race-convert race-mpinet race-kern race-obs race-shard bench-smoke metrics-smoke metrics-endpoint-smoke
+ci: vet staticcheck fmt-check build race race-decode race-convert race-mpinet race-kern race-obs race-shard race-pamx bench-smoke metrics-smoke metrics-endpoint-smoke
 	@echo "ci: all checks passed"

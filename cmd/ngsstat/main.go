@@ -1,12 +1,14 @@
 // Command ngsstat runs the parallel statistical analysis module:
 // coverage histogram construction region-parallel over genomic shards,
-// non-local means denoising, and false discovery rate computation.
+// non-local means denoising, false discovery rate computation, and
+// FDR-thresholded peak calling over the sharded histogram.
 //
 // Usage:
 //
 //	ngsstat -op hist -bam chip.bam -rname chr1 -bin 200 -out chip.hist.tsv -p 4
 //	ngsstat -op nlmeans -in chip.hist.tsv -out denoised.tsv -r 80 -l 15 -sigma 10 -p 8
 //	ngsstat -op fdr -in chip.hist.tsv -sims 'chip.sim*.tsv' -pt 20 -p 8
+//	ngsstat -op peaks -bam chip.bam -rname chr1 -sims 'chip.sim*.tsv' -candidates 1,2,5 -p 4
 //
 // With -transport tcp the hist path becomes one rank of a multi-process
 // world: rank 0 scatters shard descriptors and reduces the per-rank
@@ -19,17 +21,20 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"parseq"
 	"parseq/internal/hist"
 	"parseq/internal/mpiflag"
 	"parseq/internal/obsflag"
+	"parseq/internal/peaks"
 	"parseq/internal/shard"
 )
 
 func main() {
 	var (
-		op       = flag.String("op", "", "operation: hist, nlmeans or fdr")
+		op       = flag.String("op", "", "operation: hist, peaks, nlmeans or fdr")
 		in       = flag.String("in", "", "histogram dataset (one value per line)")
 		bam      = flag.String("bam", "", "BAM or BAMX file (hist)")
 		rname    = flag.String("rname", "", "reference name to histogram (hist)")
@@ -41,8 +46,11 @@ func main() {
 		l        = flag.Int("l", 15, "NL-means half patch size")
 		sigma    = flag.Float64("sigma", 10, "NL-means filtering parameter")
 		cores    = flag.Int("p", 1, "parallel workers/ranks")
-		sims     = flag.String("sims", "", "glob of simulation datasets (fdr)")
+		sims     = flag.String("sims", "", "glob of simulation datasets (fdr, peaks)")
 		pt       = flag.Float64("pt", 1, "FDR threshold p_t")
+		cands    = flag.String("candidates", "1,2,5,10,20", "comma-separated p_t candidates (peaks)")
+		maxGap   = flag.Int("maxgap", 1, "merge peak runs separated by at most this many bins (peaks)")
+		minWidth = flag.Int("minwidth", 2, "drop peaks narrower than this many bins (peaks)")
 		obsFlags = obsflag.Register(nil)
 		mpiFlags = mpiflag.Register(nil)
 	)
@@ -111,6 +119,68 @@ func main() {
 		fmt.Printf("histogrammed %s into %d bins of %d bases → %s\n",
 			*rname, len(h.Bins), *bin, dst)
 
+	case "peaks":
+		if *bam == "" || *rname == "" {
+			die(fmt.Errorf("-op peaks requires -bam and -rname"))
+		}
+		if *sims == "" {
+			die(fmt.Errorf("-op peaks requires -sims"))
+		}
+		paths, err := filepath.Glob(*sims)
+		if err != nil {
+			die(err)
+		}
+		if len(paths) == 0 {
+			die(fmt.Errorf("no simulation datasets match %q", *sims))
+		}
+		sort.Strings(paths)
+		simData := make([][]float64, len(paths))
+		for i, sp := range paths {
+			simData[i] = readTSV(sp)
+		}
+		var candidates []float64
+		for _, s := range strings.Split(*cands, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				die(fmt.Errorf("-candidates: %w", err))
+			}
+			candidates = append(candidates, v)
+		}
+		p := shard.OpenPathProvider(*bam)
+		defer p.Close()
+		called, h, ptSel, fdr, err := peaks.CoveragePeaks(p, *rname, *bin, simData, candidates,
+			peaks.Options{MaxGap: *maxGap, MinWidth: *minWidth},
+			shard.Config{
+				Ranks:        *cores,
+				Workers:      *workers,
+				TargetShards: *shards,
+				Launch:       mpiSession.Launcher(),
+			})
+		if err != nil {
+			die(err)
+		}
+		// Only rank 0 holds the reduced histogram the calls derive from.
+		if mpiSession.Rank() != 0 {
+			return
+		}
+		dst := *out
+		if dst == "" {
+			dst = *bam + ".peaks.tsv"
+		}
+		f, err := os.Create(dst)
+		if err != nil {
+			die(err)
+		}
+		for _, pk := range called {
+			fmt.Fprintf(f, "%s\t%d\t%d\t%g\t%d\n",
+				*rname, pk.Start*h.BinSize, pk.End*h.BinSize, pk.MaxValue, pk.MinSurvive)
+		}
+		if err := f.Close(); err != nil {
+			die(err)
+		}
+		fmt.Printf("called %d peaks on %s (p_t=%g, FDR=%.6g, %d simulations) → %s\n",
+			len(called), *rname, ptSel, fdr, len(simData), dst)
+
 	case "nlmeans":
 		histogram := requireTSV(*in, *op)
 		p := parseq.NLMeansParams{R: *r, L: *l, Sigma: *sigma}
@@ -161,7 +231,7 @@ func main() {
 			*pt, v, len(histogram), len(simData), *cores)
 
 	default:
-		die(fmt.Errorf("unknown -op %q (want hist, nlmeans or fdr)", *op))
+		die(fmt.Errorf("unknown -op %q (want hist, peaks, nlmeans or fdr)", *op))
 	}
 }
 

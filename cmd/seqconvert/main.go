@@ -8,6 +8,7 @@
 //	seqconvert -in data.bam  -preprocess              # data.bamx + data.baix
 //	seqconvert -in data.bamx -format sam -p 8 -region chr1:1-500000
 //	seqconvert -in data.sam  -converter psam -format fastq -p 8
+//	seqconvert -in data.bam  -converter pamx -out outdir -prefix data   # columnar PAMX
 //
 // With -transport tcp the same command becomes one rank of a
 // multi-process world (run it once per rank with the same work flags):
@@ -20,7 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"parseq"
 	"parseq/internal/mpiflag"
@@ -35,7 +38,7 @@ func main() {
 		outDir    = flag.String("out", ".", "output directory")
 		prefix    = flag.String("prefix", "out", "output file prefix")
 		region    = flag.String("region", "", "partial conversion region, e.g. chr1:100-200 (BAMX only)")
-		converter = flag.String("converter", "auto", "converter instance: auto, sam, bam, psam")
+		converter = flag.String("converter", "auto", "converter instance: auto, sam, bam, psam, pamx")
 		preproc   = flag.Bool("preprocess", false, "only preprocess the input into BAMX/BAIX")
 		preCores  = flag.Int("pre-p", 0, "preprocessing ranks for the psam converter (default: -p)")
 		baix      = flag.String("baix", "", "BAIX index path (default: input with .baix)")
@@ -88,6 +91,8 @@ func main() {
 			kind = "bamx"
 		case strings.HasSuffix(*in, ".bamz"):
 			kind = "bamz"
+		case strings.HasSuffix(*in, ".pamx"):
+			kind = "pamx"
 		default:
 			die(fmt.Errorf("cannot infer converter for %q; pass -converter", *in))
 		}
@@ -127,6 +132,35 @@ func main() {
 		default:
 			die(fmt.Errorf("-preprocess needs a SAM or BAM input"))
 		}
+		return
+	}
+
+	// The columnar converter stands apart from the per-rank Result
+	// shape: PAMX conversion is one output file either direction.
+	if kind == "pamx" {
+		popts := parseq.PAMXOptions{CodecWorkers: *codecWork}
+		start := time.Now()
+		var (
+			count int64
+			dst   string
+		)
+		switch {
+		case strings.HasSuffix(*in, ".pamx"):
+			dst = filepath.Join(*outDir, *prefix+".bam")
+			count, err = parseq.ConvertPAMXToBAM(*in, dst, popts)
+		case strings.HasSuffix(*in, ".bamx"):
+			dst = filepath.Join(*outDir, *prefix+".pamx")
+			count, err = parseq.ConvertBAMXToPAMX(*in, dst, popts)
+		case strings.HasSuffix(*in, ".bam"):
+			dst = filepath.Join(*outDir, *prefix+".pamx")
+			count, err = parseq.ConvertBAMToPAMX(*in, dst, popts)
+		default:
+			err = fmt.Errorf("-converter pamx needs a .bam, .bamx or .pamx input")
+		}
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("converted %d records into %s in %v\n", count, dst, time.Since(start))
 		return
 	}
 

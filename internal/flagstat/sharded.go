@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"parseq/internal/bam"
+	"parseq/internal/formats/pamx"
 	"parseq/internal/mpi"
 	"parseq/internal/shard"
 )
@@ -47,6 +48,10 @@ func BAMFile(path string) (Stats, error) {
 // count or transport. Under a distributed launcher the result is
 // complete on rank 0's process only.
 func Sharded(p shard.Provider, cfg shard.Config) (Stats, error) {
+	// Flagstat reads only the FLAG word and mate refs of the fixed
+	// prefix: over a columnar provider, project the coordinate column
+	// and skip the name/CIGAR/sequence/quality/aux bulk entirely.
+	shard.Project(p, pamx.FieldFlag)
 	launch, ranks := cfg.Launcher()
 	var total Stats
 	err := launch(ranks, func(c *mpi.Comm) error {

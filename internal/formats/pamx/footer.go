@@ -1,0 +1,107 @@
+package pamx
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Footer wire format: a uint32 group count followed by fixed-size group
+// entries, then (outside the footer proper) the uint64 footer length and
+// the trailer magic. Everything is little-endian. The decoder treats the
+// bytes as untrusted input: every length is bounded before allocation
+// and every accepted footer re-encodes byte-identically, which is the
+// property FuzzPAMXFooter holds the codec to.
+
+// groupWireSize is the encoded size of one group entry: refID + beg +
+// end + records + numColumns × {off, clen, ulen}.
+const groupWireSize = 4 + 8 + 8 + 8 + numColumns*24
+
+// maxFooterGroups bounds the group count a footer may declare — a
+// size-cap against hostile headers, far above any real file (2^24
+// groups × the minimum non-empty group is already petabytes).
+const maxFooterGroups = 1 << 24
+
+// maxFooterBytes bounds the footer blob Open will read into memory.
+const maxFooterBytes = 4 + int64(maxFooterGroups)*groupWireSize
+
+// EncodeFooter serialises the group index.
+func EncodeFooter(groups []GroupInfo) []byte {
+	dst := make([]byte, 0, 4+len(groups)*groupWireSize)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(groups)))
+	for _, g := range groups {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(g.RefID))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(g.Beg))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(g.End))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(g.Records))
+		for c := 0; c < numColumns; c++ {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(g.Cols[c].Off))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(g.Cols[c].CLen))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(g.Cols[c].ULen))
+		}
+	}
+	return dst
+}
+
+// DecodeFooter parses an EncodeFooter payload, rejecting truncation,
+// trailing garbage, and any group whose geometry is internally
+// inconsistent (negative lengths, coord column not records×36,
+// empty/non-empty disagreement between clen and ulen).
+func DecodeFooter(data []byte) ([]GroupInfo, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: truncated footer", ErrCorrupt)
+	}
+	n := int64(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if n > maxFooterGroups {
+		return nil, fmt.Errorf("%w: footer declares %d groups", ErrCorrupt, n)
+	}
+	if int64(len(data)) != n*groupWireSize {
+		return nil, fmt.Errorf("%w: footer declares %d groups, holds %d bytes", ErrCorrupt, n, len(data))
+	}
+	groups := make([]GroupInfo, 0, n)
+	for i := int64(0); i < n; i++ {
+		g := GroupInfo{
+			RefID:   int32(binary.LittleEndian.Uint32(data[0:])),
+			Beg:     int64(binary.LittleEndian.Uint64(data[4:])),
+			End:     int64(binary.LittleEndian.Uint64(data[12:])),
+			Records: int64(binary.LittleEndian.Uint64(data[20:])),
+		}
+		off := 28
+		for c := 0; c < numColumns; c++ {
+			g.Cols[c] = colEntry{
+				Off:  int64(binary.LittleEndian.Uint64(data[off:])),
+				CLen: int64(binary.LittleEndian.Uint64(data[off+8:])),
+				ULen: int64(binary.LittleEndian.Uint64(data[off+16:])),
+			}
+			off += 24
+		}
+		if err := g.validate(int(i)); err != nil {
+			return nil, err
+		}
+		if g.Beg < 0 || g.End < g.Beg {
+			return nil, fmt.Errorf("%w: group %d span [%d, %d)", ErrCorrupt, i, g.Beg, g.End)
+		}
+		groups = append(groups, g)
+		data = data[groupWireSize:]
+	}
+	return groups, nil
+}
+
+// boundsCheck verifies every column blob lies inside [dataStart,
+// dataEnd) of the file — Open's second validation layer, applied once
+// the file geometry is known.
+func boundsCheck(groups []GroupInfo, dataStart, dataEnd int64) error {
+	for i := range groups {
+		for c := 0; c < numColumns; c++ {
+			e := groups[i].Cols[c]
+			if e.CLen == 0 {
+				continue
+			}
+			if e.Off < dataStart || e.Off+e.CLen > dataEnd {
+				return fmt.Errorf("%w: group %d column %d blob [%d, %d) outside data section [%d, %d)",
+					ErrCorrupt, i, c, e.Off, e.Off+e.CLen, dataStart, dataEnd)
+			}
+		}
+	}
+	return nil
+}

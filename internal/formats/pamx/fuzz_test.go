@@ -1,0 +1,55 @@
+package pamx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPAMXFooter holds the footer codec to its untrusted-input
+// contract: DecodeFooter never panics, rejects truncation, trailing
+// garbage, size-cap violations and inconsistent geometry with an error,
+// and any payload it does accept re-encodes byte-identically.
+func FuzzPAMXFooter(f *testing.F) {
+	valid := EncodeFooter([]GroupInfo{
+		{
+			RefID: 0, Beg: 100, End: 5000, Records: 3,
+			Cols: [numColumns]colEntry{
+				{Off: 64, CLen: 40, ULen: 3 * coordStride},
+				{Off: 104, CLen: 30, ULen: 90},
+				{Off: 134, CLen: 20, ULen: 24},
+				{Off: 154, CLen: 50, ULen: 135},
+				{Off: 204, CLen: 60, ULen: 270},
+				{Off: 264, CLen: 25, ULen: 33},
+			},
+		},
+		{
+			RefID: -1, Beg: 0, End: 0, Records: 1,
+			Cols: [numColumns]colEntry{
+				{Off: 289, CLen: 30, ULen: coordStride},
+				{Off: 319, CLen: 20, ULen: 12},
+				{}, {}, {}, {},
+			},
+		},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(append([]byte(nil), valid...), 0))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0xa5}, groupWireSize+4))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		groups, err := DecodeFooter(data)
+		if err != nil {
+			return
+		}
+		re := EncodeFooter(groups)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted footer does not re-encode identically: %d bytes in, %d out", len(data), len(re))
+		}
+		// Accepted groups must also survive the geometry layer without
+		// panicking, whatever its verdict.
+		_ = boundsCheck(groups, 0, 1<<62)
+	})
+}

@@ -1,0 +1,220 @@
+package pamx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"parseq/internal/bam"
+	"parseq/internal/bgzf"
+	"parseq/internal/sam"
+)
+
+// Writer emits a PAMX file: records buffer into per-column streams until
+// the current column group cuts (size cap, record cap, or reference
+// change), at which point each non-empty column compresses into an
+// independent BGZF blob and appends to the file. Close flushes the last
+// group and writes the footer index.
+type Writer struct {
+	w      io.Writer
+	header *sam.Header
+	opts   Options
+
+	off    int64 // absolute file offset of the next byte written
+	cols   [numColumns][]byte
+	cur    GroupInfo
+	open   bool // the current group holds at least one record
+	groups []GroupInfo
+	count  int64
+	err    error
+}
+
+// encodeHeader renders the file prologue: magic, header-text length and
+// the SAM header text.
+func encodeHeader(h *sam.Header) []byte {
+	text := h.String()
+	hdr := make([]byte, 0, len(Magic)+4+len(text))
+	hdr = append(hdr, Magic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(text)))
+	return append(hdr, text...)
+}
+
+// NewWriter writes the PAMX prologue and returns a record writer.
+func NewWriter(w io.Writer, h *sam.Header, opts Options) (*Writer, error) {
+	if opts.GroupBytes <= 0 {
+		opts.GroupBytes = DefaultGroupBytes
+	}
+	hdr := encodeHeader(h)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, header: h, opts: opts, off: int64(len(hdr))}, nil
+}
+
+// Write encodes one alignment and appends it.
+func (w *Writer) Write(rec *sam.Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	body, err := bam.EncodeRecord(nil, rec, w.header)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	return w.WriteBody(body[4:])
+}
+
+// WriteBody appends one record given its BAM-encoded body (without the
+// block_size prefix) — the zero-decode handoff conversions use. The body
+// is split across the column buffers; nothing aliases it after return.
+func (w *Writer) WriteBody(body []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(body) < 32 {
+		return w.fail(fmt.Errorf("%w: %d-byte record body", ErrCorrupt, len(body)))
+	}
+	nameLen, nCigar, seqLen, auxLen := bodyLens(body)
+	if nameLen < 1 || auxLen < 0 {
+		return w.fail(fmt.Errorf("%w: inconsistent record lengths (name %d, cigar %d, seq %d, aux %d)",
+			ErrCorrupt, nameLen, nCigar, seqLen, auxLen))
+	}
+	refID, beg, end := bam.BodySpan(body)
+
+	if w.open && w.shouldCut(refID, len(body)) {
+		if err := w.flushGroup(); err != nil {
+			return err
+		}
+	}
+	if !w.open {
+		w.cur = GroupInfo{RefID: refID}
+		w.open = true
+		if refID >= 0 {
+			w.cur.Beg, w.cur.End = int64(beg), int64(end)
+		}
+	} else if refID >= 0 {
+		if int64(beg) < w.cur.Beg {
+			w.cur.Beg = int64(beg)
+		}
+		if int64(end) > w.cur.End {
+			w.cur.End = int64(end)
+		}
+	}
+
+	w.cols[colCoord] = append(w.cols[colCoord], body[:32]...)
+	w.cols[colCoord] = binary.LittleEndian.AppendUint32(w.cols[colCoord], uint32(auxLen))
+	rest := body[32:]
+	w.cols[colQName] = append(w.cols[colQName], rest[:nameLen]...)
+	rest = rest[nameLen:]
+	w.cols[colCigar] = append(w.cols[colCigar], rest[:4*nCigar]...)
+	rest = rest[4*nCigar:]
+	w.cols[colSeq] = append(w.cols[colSeq], rest[:(seqLen+1)/2]...)
+	rest = rest[(seqLen+1)/2:]
+	w.cols[colQual] = append(w.cols[colQual], rest[:seqLen]...)
+	w.cols[colAux] = append(w.cols[colAux], rest[seqLen:]...)
+
+	w.cur.Records++
+	w.count++
+	return nil
+}
+
+// shouldCut reports whether the current group must close before a record
+// of the given reference and body size joins it.
+func (w *Writer) shouldCut(refID int32, bodyLen int) bool {
+	if refID != w.cur.RefID {
+		return true
+	}
+	if w.opts.GroupRecords > 0 && w.cur.Records >= int64(w.opts.GroupRecords) {
+		return true
+	}
+	var buffered int64
+	for c := 0; c < numColumns; c++ {
+		buffered += int64(len(w.cols[c]))
+	}
+	// +4: the coordinate column stores the aux length alongside the prefix.
+	return buffered+int64(bodyLen)+4 > w.opts.GroupBytes
+}
+
+// compressColumn deflates one column stream into an in-memory BGZF blob
+// on the codec Options select; every path emits bit-identical bytes.
+func (w *Writer) compressColumn(col []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	var zw bgzf.BlockWriter
+	switch {
+	case w.opts.CodecWorkers == 1:
+		zw = bgzf.NewWriter(&buf)
+	case w.opts.CodecWorkers > 1:
+		zw = bgzf.NewParallelWriter(&buf, w.opts.CodecWorkers)
+	default:
+		zw = bgzf.NewSharedParallelWriter(&buf)
+	}
+	if _, err := zw.Write(col); err != nil {
+		zw.Close()
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// flushGroup compresses and appends the buffered columns as one group.
+func (w *Writer) flushGroup() error {
+	for c := 0; c < numColumns; c++ {
+		col := w.cols[c]
+		if len(col) == 0 {
+			w.cur.Cols[c] = colEntry{}
+			continue
+		}
+		blob, err := w.compressColumn(col)
+		if err != nil {
+			return w.fail(err)
+		}
+		if _, err := w.w.Write(blob); err != nil {
+			return w.fail(err)
+		}
+		w.cur.Cols[c] = colEntry{Off: w.off, CLen: int64(len(blob)), ULen: int64(len(col))}
+		w.off += int64(len(blob))
+		w.cols[c] = col[:0]
+	}
+	w.groups = append(w.groups, w.cur)
+	w.open = false
+	return nil
+}
+
+func (w *Writer) fail(err error) error {
+	w.err = err
+	return err
+}
+
+// Count returns the records written so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Groups returns the column groups flushed so far (the open group, if
+// any, is not counted until Close).
+func (w *Writer) Groups() int { return len(w.groups) }
+
+// Close flushes the open group and writes the footer index and trailer.
+// It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.open {
+		if err := w.flushGroup(); err != nil {
+			return err
+		}
+	}
+	footer := EncodeFooter(w.groups)
+	if _, err := w.w.Write(footer); err != nil {
+		return w.fail(err)
+	}
+	tail := binary.LittleEndian.AppendUint64(nil, uint64(len(footer)))
+	tail = append(tail, TrailerMagic...)
+	if _, err := w.w.Write(tail); err != nil {
+		return w.fail(err)
+	}
+	w.err = fmt.Errorf("pamx: writer closed")
+	return nil
+}

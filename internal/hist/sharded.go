@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"parseq/internal/bam"
+	"parseq/internal/formats/pamx"
 	"parseq/internal/mpi"
 	"parseq/internal/sam"
 	"parseq/internal/shard"
@@ -35,6 +36,10 @@ func (h *Histogram) addBody(body []byte, refID int32) {
 // shard count, worker count or transport). Under a distributed launcher
 // the reduced histogram is complete on rank 0's process only.
 func FromProvider(p shard.Provider, rname string, binSize int, cfg shard.Config) (*Histogram, error) {
+	// Coverage needs the alignment span — the fixed prefix plus the
+	// CIGAR walk bam.BodySpan performs — and nothing else; over a
+	// columnar provider everything heavier stays compressed on disk.
+	shard.Project(p, pamx.FieldCoord|pamx.FieldCigar)
 	header, err := p.Header()
 	if err != nil {
 		return nil, err

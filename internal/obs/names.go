@@ -131,6 +131,13 @@ var MetricNames = []MetricInfo{
 	{"go.sched_latency_p50_ns", KindGauge, "median goroutine scheduling latency"},
 	{"go.sched_latency_p99_ns", KindGauge, "p99 goroutine scheduling latency"},
 
+	// Columnar PAMX reader (internal/formats/pamx): the measured half of
+	// field projection — uncompressed column bytes actually inflated vs
+	// left compressed on disk, and the projection mask last applied.
+	{"pamx.bytes_inflated", KindCounter, "uncompressed column bytes inflated under the active projections"},
+	{"pamx.bytes_skipped", KindCounter, "uncompressed column bytes skipped (never inflated) by projection"},
+	{"pamx.fields", KindGauge, "projection bitmask of the most recent PAMX group open"},
+
 	// Genomic-range shard layer (internal/shard).
 	{"shard.count", KindCounter, "region shards drained by this process's workers"},
 	{"shard.bytes", KindCounter, "estimated compressed bytes under the drained shards"},

@@ -155,6 +155,8 @@ func TestDeployedMetricNamesAreRegistered(t *testing.T) {
 		"conv.records", "conv.bytes_total",
 		"go.sched_latency_p99_ns",
 		"world.straggler",
+		"pamx.bytes_inflated", "pamx.bytes_skipped", "pamx.fields",
+		"shard.count", "shard.steal",
 	} {
 		if _, ok := MetricHelp(name); !ok {
 			t.Errorf("deployed metric %q missing from the canonical inventory", name)

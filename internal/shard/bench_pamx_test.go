@@ -1,0 +1,149 @@
+package shard_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"parseq/internal/bamx"
+	"parseq/internal/flagstat"
+	"parseq/internal/formats/pamx"
+	"parseq/internal/shard"
+)
+
+// benchPAMX lazily converts the shared benchmark BAM into PAMX once;
+// like the sidecar indexes, the conversion is offline preprocessing the
+// analysis benchmarks don't pay for.
+var benchPAMX struct {
+	once sync.Once
+	path string
+	err  error
+}
+
+func benchPAMXPath(b *testing.B) string {
+	bamPath, _ := benchPaths(b)
+	benchPAMX.once.Do(func() {
+		path := bamPath + ".pamx"
+		_, err := pamx.FromBAM(bamPath, path, pamx.Options{})
+		benchPAMX.path, benchPAMX.err = path, err
+	})
+	if benchPAMX.err != nil {
+		b.Fatal(benchPAMX.err)
+	}
+	return benchPAMX.path
+}
+
+// BenchmarkPAMXAnalysis sweeps projected whole-genome flagstat over the
+// columnar provider at 1/2/4/8 workers against the row-major BAMX
+// sharded scan at the same worker counts — the two container layouts
+// under the identical drain, isolating what column projection buys.
+func BenchmarkPAMXAnalysis(b *testing.B) {
+	bamPath, bamxPath := benchPaths(b)
+	pamxPath := benchPAMXPath(b)
+	st, err := os.Stat(bamPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := singleStreamFlagstat(bamPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(name string, fn func() (flagstat.Stats, error)) {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(st.Size())
+			for i := 0; i < b.N; i++ {
+				got, err := fn()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatalf("result mismatch:\n got %+v\nwant %+v", got, want)
+				}
+			}
+		})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		run(fmt.Sprintf("ShardedBAMX/workers=%d", workers), func() (flagstat.Stats, error) {
+			p := shard.NewBAMXProvider(bamxPath)
+			defer p.Close()
+			return shardedFlagstat(p, workers)
+		})
+		run(fmt.Sprintf("ProjectedPAMX/workers=%d", workers), func() (flagstat.Stats, error) {
+			p := shard.NewPAMXProvider(pamxPath)
+			defer p.Close()
+			return shardedFlagstat(p, workers)
+		})
+	}
+}
+
+// BenchmarkPAMXSpeedup is the column-projection headline: projected
+// flagstat over PAMX against the row-major BAMX sharded scan, both at 4
+// workers, run back to back inside each iteration with per-side minima
+// (the ratio survives CPU steal). Reported metrics: "speedup" — the
+// records/s ratio (record counts are equal, so it is the inverse time
+// ratio) — and "bytes_inflated_ratio" — uncompressed bytes the
+// projected scan materialises (the 36-byte coordinate column) over the
+// bytes the fixed-stride BAMX scan reads (stride × records).
+func BenchmarkPAMXSpeedup(b *testing.B) {
+	_, bamxPath := benchPaths(b)
+	pamxPath := benchPAMXPath(b)
+
+	pf, err := pamx.OpenPath(pamxPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var inflated int64
+	for i := 0; i < pf.NumGroups(); i++ {
+		inflated += pf.Group(i).Records * 36 // coord column ULen under FieldFlag
+	}
+	records := pf.NumRecords()
+	pf.Close()
+	xin, err := os.Open(bamxPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xst, err := xin.Stat()
+	if err != nil {
+		b.Fatal(err)
+	}
+	xf, err := bamx.Open(xin, xst.Size())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rowBytes := int64(xf.Stride()) * xf.NumRecords()
+	xin.Close()
+
+	minRow, minCol := time.Duration(1<<62), time.Duration(1<<62)
+	timer := func(fn func() error) time.Duration {
+		start := time.Now()
+		if err := fn(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := timer(func() error {
+			p := shard.NewBAMXProvider(bamxPath)
+			defer p.Close()
+			_, err := shardedFlagstat(p, 4)
+			return err
+		}); d < minRow {
+			minRow = d
+		}
+		if d := timer(func() error {
+			p := shard.NewPAMXProvider(pamxPath)
+			defer p.Close()
+			_, err := shardedFlagstat(p, 4)
+			return err
+		}); d < minCol {
+			minCol = d
+		}
+	}
+	b.ReportMetric(float64(minRow)/float64(minCol), "speedup")
+	b.ReportMetric(float64(inflated)/float64(rowBytes), "bytes_inflated_ratio")
+	b.ReportMetric(float64(records)/minCol.Seconds(), "records/s")
+}

@@ -254,10 +254,14 @@ func (p *BAMProvider) NewReader(sh Shard) (RecordReader, error) {
 func (p *BAMProvider) Close() error { return nil }
 
 // OpenPathProvider dispatches on the file extension: .bamx files get a
-// BAMXProvider (BAIX sidecar), everything else a BAMProvider.
+// BAMXProvider (BAIX sidecar), .pamx files a columnar PAMXProvider, and
+// everything else a BAMProvider.
 func OpenPathProvider(path string) Provider {
-	if strings.HasSuffix(path, ".bamx") {
+	switch {
+	case strings.HasSuffix(path, ".bamx"):
 		return NewBAMXProvider(path)
+	case strings.HasSuffix(path, ".pamx"):
+		return NewPAMXProvider(path)
 	}
 	return NewBAMProvider(path)
 }

@@ -36,6 +36,7 @@ import (
 	"parseq/internal/fdr"
 	"parseq/internal/flagstat"
 	"parseq/internal/formats"
+	"parseq/internal/formats/pamx"
 	"parseq/internal/hist"
 	"parseq/internal/mpi"
 	"parseq/internal/nlmeans"
@@ -185,6 +186,33 @@ func CompressBAMXWorkers(bamxPath, bamzPath string, recsPerBlock, workers int) (
 // decompresses only the blocks its record range touches.
 func ConvertBAMZ(bamzPath, baixPath string, opts Options) (*Result, error) {
 	return conv.ConvertBAMZ(bamzPath, baixPath, opts)
+}
+
+// PAMXOptions tunes the columnar PAMX writer: codec worker count (0
+// attaches to the shared BGZF pool) and column-group cut thresholds.
+type PAMXOptions = pamx.Options
+
+// PAMXFields selects the columns a PAMX reader inflates; see the
+// pamx.Field* constants re-exported by internal analyses.
+type PAMXFields = pamx.Fields
+
+// ConvertBAMToPAMX rewrites a BAM file as columnar PAMX: per-field
+// streams compressed independently into coordinate-sharded column
+// groups, so later analyses inflate only the fields they project.
+func ConvertBAMToPAMX(bamPath, pamxPath string, opts PAMXOptions) (int64, error) {
+	return pamx.FromBAM(bamPath, pamxPath, opts)
+}
+
+// ConvertBAMXToPAMX rewrites a fixed-stride BAMX file as columnar PAMX.
+func ConvertBAMXToPAMX(bamxPath, pamxPath string, opts PAMXOptions) (int64, error) {
+	return pamx.FromBAMX(bamxPath, pamxPath, opts)
+}
+
+// ConvertPAMXToBAM converts a PAMX file back into BAM with the full
+// projection; the output is byte-identical to a sequential BAM rewrite
+// of the original input at any codec worker count.
+func ConvertPAMXToBAM(pamxPath, bamPath string, opts PAMXOptions) (int64, error) {
+	return pamx.ToBAM(pamxPath, bamPath, opts)
 }
 
 // NLMeansParams are the non-local means parameters: search radius R,
