@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-decode race-convert race-mpinet race-kern race-obs race-shard race-pamx vet staticcheck fmt-check bench-smoke bench-decode bench-convert bench-kern bench-shard bench-pamx metrics-smoke metrics-endpoint-smoke fuzz-frame fuzz-kern fuzz-index fuzz-pamx ci
+.PHONY: all build test race race-decode race-convert race-mpinet race-kern race-obs race-shard race-pamx race-daemon vet staticcheck fmt-check bench-smoke bench-decode bench-convert bench-kern bench-shard bench-pamx metrics-smoke metrics-endpoint-smoke daemon-endpoint-smoke fuzz-frame fuzz-kern fuzz-index fuzz-pamx fuzz-daemon ci
 
 all: build
 
@@ -67,6 +67,13 @@ race-shard:
 race-pamx:
 	$(GO) test -race -count=1 ./internal/formats/pamx ./internal/shard ./internal/flagstat ./internal/hist
 
+# Focused race run over the daemon: the bounded queue and admission
+# paths under a concurrent HTTP burst, job cancellation and panic
+# isolation, the fleet lockstep protocol on a loopback worker, and the
+# obsflag shutdown hook the graceful drain rides on.
+race-daemon:
+	$(GO) test -race -count=1 ./internal/daemon ./internal/obsflag
+
 # A short deterministic fuzz pass over the wire-frame decoder: corrupt
 # frames must error, never panic or over-allocate.
 fuzz-frame:
@@ -89,6 +96,12 @@ fuzz-index:
 # byte-for-byte and survive the bounds check without panicking.
 fuzz-pamx:
 	$(GO) test -run '^$$' -fuzz 'FuzzPAMXFooter' -fuzztime 10s ./internal/formats/pamx
+
+# Short fuzz pass over the daemon's job-spec decoder: arbitrary
+# submission bodies must yield a structured error or a spec that
+# re-encodes to a fixed point — never a panic.
+fuzz-daemon:
+	$(GO) test -run '^$$' -fuzz 'FuzzJobSpec' -fuzztime 10s ./internal/daemon
 
 vet:
 	$(GO) vet ./...
@@ -230,5 +243,33 @@ metrics-endpoint-smoke:
 	$(GO) test -run 'TestMetricsEndpointSmoke|TestSIGTERMFlushesProfiles' -count=1 ./internal/obsflag
 	$(GO) test -run 'TestSubprocessObs' -count=1 ./internal/mpinet
 
-ci: vet staticcheck fmt-check build race race-decode race-convert race-mpinet race-kern race-obs race-shard race-pamx bench-smoke metrics-smoke metrics-endpoint-smoke
+# End-to-end daemon check with the real binaries: build seqconvd,
+# ngsbench, seqconvert and ngsgen, start the daemon on a loopback port,
+# upload a generated SAM, convert it to BED through the job API, and
+# verify the streamed result byte-identical to the seqconvert CLI's
+# output. SIGTERM then drains the daemon, which must exit 128+15.
+daemon-endpoint-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); pid=""; \
+	trap '[ -n "$$pid" ] && kill "$$pid" 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp" ./cmd/seqconvd ./cmd/ngsbench ./cmd/seqconvert ./cmd/ngsgen; \
+	"$$tmp/ngsgen" -reads 2000 -format sam -out "$$tmp/tiny" >/dev/null; \
+	"$$tmp/seqconvert" -in "$$tmp/tiny.sam" -format bed -out "$$tmp" -prefix ref >/dev/null; \
+	"$$tmp/seqconvd" -addr 127.0.0.1:0 -spool "$$tmp/spool" 2> "$$tmp/seqconvd.log" & pid=$$!; \
+	base=""; \
+	for i in $$(seq 1 100); do \
+		base=$$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$$tmp/seqconvd.log"); \
+		[ -n "$$base" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$base" ] || { echo "daemon-endpoint-smoke: seqconvd never came up"; cat "$$tmp/seqconvd.log"; exit 1; }; \
+	"$$tmp/ngsbench" -daemon "$$base" \
+		-daemon-spec '{"op":"convert","format":"bed"}' \
+		-daemon-in "$$tmp/tiny.sam" -daemon-out "$$tmp/got.bed" \
+		-daemon-verify "$$tmp/ref_p000.bed"; \
+	kill -TERM "$$pid"; \
+	wait "$$pid" && rc=0 || rc=$$?; pid=""; \
+	[ "$$rc" -eq 143 ] || { echo "daemon-endpoint-smoke: seqconvd exit $$rc, want 143"; cat "$$tmp/seqconvd.log"; exit 1; }; \
+	echo "daemon-endpoint-smoke: OK"
+
+ci: vet staticcheck fmt-check build race race-decode race-convert race-mpinet race-kern race-obs race-shard race-pamx race-daemon bench-smoke metrics-smoke metrics-endpoint-smoke daemon-endpoint-smoke
 	@echo "ci: all checks passed"

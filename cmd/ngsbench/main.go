@@ -31,18 +31,31 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, "+strings.Join(parseq.Experiments(), ", "))
-		reads    = flag.Int("reads", 0, "alignment records in the measured dataset")
-		bins     = flag.Int("bins", 0, "histogram bins for the statistical experiments")
-		sims     = flag.Int("sims", 0, "FDR simulation datasets")
-		tmp      = flag.String("tmpdir", "", "scratch directory (default: a fresh temp dir)")
-		keep     = flag.Bool("keep", false, "keep scratch files")
-		codec    = flag.Int("codec-workers", 0, "BGZF codec goroutines for BAM/BAMZ steps (0: auto, one per CPU capped; 1: sequential codec)")
-		parse    = flag.Int("parse-workers", 0, "per-rank SAM parse/encode goroutines for the measured text conversions (0: auto; 1: sequential)")
-		obsFlags = obsflag.Register(nil)
-		mpiFlags = mpiflag.Register(nil)
+		exp        = flag.String("exp", "all", "experiment: all, "+strings.Join(parseq.Experiments(), ", "))
+		reads      = flag.Int("reads", 0, "alignment records in the measured dataset")
+		bins       = flag.Int("bins", 0, "histogram bins for the statistical experiments")
+		sims       = flag.Int("sims", 0, "FDR simulation datasets")
+		tmp        = flag.String("tmpdir", "", "scratch directory (default: a fresh temp dir)")
+		keep       = flag.Bool("keep", false, "keep scratch files")
+		codec      = flag.Int("codec-workers", 0, "BGZF codec goroutines for BAM/BAMZ steps (0: auto, one per CPU capped; 1: sequential codec)")
+		parse      = flag.Int("parse-workers", 0, "per-rank SAM parse/encode goroutines for the measured text conversions (0: auto; 1: sequential)")
+		daemonURL  = flag.String("daemon", "", "submit a job to a seqconvd at this base URL instead of running experiments")
+		daemonSpec = flag.String("daemon-spec", "", "job spec JSON for -daemon")
+		daemonIn   = flag.String("daemon-in", "", "input file streamed with the -daemon submission (otherwise the spec's input_path is used)")
+		daemonOut  = flag.String("daemon-out", "-", "result destination for -daemon: a file, a directory for multi-file results, or - for stdout")
+		daemonFile = flag.String("daemon-file", "", "output file name to fetch for -daemon multi-file results")
+		daemonVer  = flag.String("daemon-verify", "", "compare the -daemon result byte-for-byte against this local file")
+		obsFlags   = obsflag.Register(nil)
+		mpiFlags   = mpiflag.Register(nil)
 	)
 	flag.Parse()
+
+	if *daemonURL != "" {
+		if err := runDaemonClient(*daemonURL, *daemonSpec, *daemonIn, *daemonOut, *daemonFile, *daemonVer); err != nil {
+			die(err)
+		}
+		return
+	}
 
 	obsSession, err := obsFlags.Start()
 	if err != nil {

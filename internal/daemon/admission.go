@@ -1,0 +1,140 @@
+// Load-shedding admission control. The daemon rejects work *before*
+// saturation: a bounded queue caps latency under burst, an in-flight
+// byte budget caps memory/disk exposure, and the measured per-worker
+// deflate throughput (the bgzf.shared_pool.throughput EWMA) turns the
+// byte backlog into an estimated wait — when that wait exceeds the
+// policy ceiling, a 429 with Retry-After is cheaper for everyone than
+// an admission the server cannot serve in time. Decide is a pure
+// function of the sampled load, so the accept/reject frontier is
+// pinned by table-driven unit tests.
+
+package daemon
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy bounds the work the daemon accepts.
+type Policy struct {
+	// MaxQueue is the FIFO job queue's capacity. Submissions arriving
+	// with the queue full are shed. ≤ 0 picks DefaultMaxQueue.
+	MaxQueue int
+	// MaxBytes caps the total spooled input bytes across queued and
+	// running jobs. ≤ 0 picks DefaultMaxBytes.
+	MaxBytes int64
+	// MaxWait caps the estimated time a new job would wait for the
+	// backlog ahead of it to drain, derived from the shared deflate
+	// pool's measured throughput. ≤ 0 picks DefaultMaxWait.
+	MaxWait time.Duration
+	// FloorBps is the per-worker throughput assumed while the EWMA is
+	// cold (no blocks compressed yet). ≤ 0 picks DefaultFloorBps.
+	FloorBps int64
+}
+
+// Defaults: a queue two deep per expected concurrent job, a gigabyte
+// of spool exposure, and a half-minute wait ceiling over a deliberately
+// conservative 16 MB/s cold-start floor.
+const (
+	DefaultMaxQueue = 64
+	DefaultMaxBytes = int64(1) << 30
+	DefaultMaxWait  = 30 * time.Second
+	DefaultFloorBps = int64(16) << 20
+)
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxQueue <= 0 {
+		p.MaxQueue = DefaultMaxQueue
+	}
+	if p.MaxBytes <= 0 {
+		p.MaxBytes = DefaultMaxBytes
+	}
+	if p.MaxWait <= 0 {
+		p.MaxWait = DefaultMaxWait
+	}
+	if p.FloorBps <= 0 {
+		p.FloorBps = DefaultFloorBps
+	}
+	return p
+}
+
+// Load is one sample of the daemon's state, the input to Decide.
+type Load struct {
+	// QueueDepth is the number of admitted jobs not yet running.
+	QueueDepth int
+	// InFlightBytes is the total spooled input bytes of queued and
+	// running jobs.
+	InFlightBytes int64
+	// ThroughputBps is the bgzf.shared_pool.throughput EWMA — measured
+	// bytes/s one deflate worker delivers; 0 while cold.
+	ThroughputBps int64
+	// Workers is the shared pool's current worker count (≥ 1).
+	Workers int
+}
+
+// Decision is the admission verdict. RetryAfter is set on every
+// rejection: the client's next useful attempt time, derived from the
+// backlog and the measured service rate.
+type Decision struct {
+	Admit      bool
+	Reason     string        // stable code: "", CodeOverloaded reasons below
+	Detail     string        // human-readable explanation
+	RetryAfter time.Duration // ≥ 1s on rejection
+}
+
+// Rejection reasons, surfaced in the structured error body.
+const (
+	ReasonQueueFull = "queue_full"
+	ReasonBytes     = "inflight_bytes"
+	ReasonWait      = "predicted_wait"
+)
+
+// Decide applies the policy to one load sample and an incoming job of
+// `incoming` input bytes (0 when the size is not yet known — chunked
+// uploads are re-checked after spooling).
+func (p Policy) Decide(l Load, incoming int64) Decision {
+	p = p.withDefaults()
+	if l.Workers < 1 {
+		l.Workers = 1
+	}
+	bps := l.ThroughputBps
+	if bps <= 0 {
+		bps = p.FloorBps
+	}
+	total := float64(bps) * float64(l.Workers)
+
+	// Estimated time for the present backlog plus this job to drain at
+	// the measured aggregate service rate.
+	backlog := l.InFlightBytes + incoming
+	wait := time.Duration(float64(backlog) / total * float64(time.Second))
+
+	if l.QueueDepth >= p.MaxQueue {
+		// The queue itself would drain in roughly `wait`; suggest
+		// returning after a share of it has moved.
+		return reject(ReasonQueueFull,
+			fmt.Sprintf("queue full (%d jobs)", l.QueueDepth), wait/2)
+	}
+	if backlog > p.MaxBytes {
+		return reject(ReasonBytes,
+			fmt.Sprintf("in-flight bytes %d + %d exceed budget %d",
+				l.InFlightBytes, incoming, p.MaxBytes), wait/2)
+	}
+	if wait > p.MaxWait {
+		return reject(ReasonWait,
+			fmt.Sprintf("predicted wait %v exceeds %v at %d B/s × %d workers",
+				wait.Round(time.Millisecond), p.MaxWait, bps, l.Workers), wait-p.MaxWait)
+	}
+	return Decision{Admit: true}
+}
+
+// reject clamps RetryAfter to [1s, 60s]: sub-second retries just feed
+// the overload, and past a minute the estimate is noise.
+func reject(reason, detail string, after time.Duration) Decision {
+	if after < time.Second {
+		after = time.Second
+	}
+	if after > time.Minute {
+		after = time.Minute
+	}
+	return Decision{Reason: reason, Detail: detail, RetryAfter: after}
+}

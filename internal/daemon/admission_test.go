@@ -1,0 +1,211 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parseq/internal/obs"
+)
+
+// TestDecideTable pins the accept/reject frontier at synthetic load
+// samples: the policy is pure, so these are exact contracts.
+func TestDecideTable(t *testing.T) {
+	p := Policy{
+		MaxQueue: 4,
+		MaxBytes: 1 << 20,         // 1 MiB budget
+		MaxWait:  2 * time.Second, //
+		FloorBps: 1 << 20,         // 1 MiB/s cold floor
+	}
+	cases := []struct {
+		name     string
+		load     Load
+		incoming int64
+		admit    bool
+		reason   string
+	}{
+		{"idle admits", Load{}, 1024, true, ""},
+		{"queue below cap admits", Load{QueueDepth: 3}, 1024, true, ""},
+		{"queue at cap sheds", Load{QueueDepth: 4}, 1024, false, ReasonQueueFull},
+		{"queue above cap sheds", Load{QueueDepth: 9}, 0, false, ReasonQueueFull},
+		{"bytes within budget admits", Load{InFlightBytes: 1 << 19}, 1 << 19, true, ""},
+		{"bytes over budget sheds", Load{InFlightBytes: 1 << 20}, 1, false, ReasonBytes},
+		{"incoming alone over budget sheds", Load{}, 1<<20 + 1, false, ReasonBytes},
+		// 1 MiB floor × 1 worker = 1 MiB/s: a 1 MiB backlog waits ~1s
+		// (admit), and MaxBytes stops anything big enough to exceed the
+		// 2s ceiling here — so scale throughput down to see ReasonWait.
+		{"slow pool long wait sheds",
+			Load{InFlightBytes: 1 << 19, ThroughputBps: 1 << 10, Workers: 1}, 1 << 19, false, ReasonWait},
+		{"fast pool same backlog admits",
+			Load{InFlightBytes: 1 << 19, ThroughputBps: 1 << 30, Workers: 1}, 1 << 19, true, ""},
+		{"many workers divide the wait",
+			Load{InFlightBytes: 1 << 19, ThroughputBps: 1 << 10, Workers: 1 << 12}, 1 << 19, true, ""},
+		{"cold EWMA falls back to floor", Load{InFlightBytes: 1 << 19}, 1 << 19, true, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dec := p.Decide(tc.load, tc.incoming)
+			if dec.Admit != tc.admit {
+				t.Fatalf("Decide(%+v, %d).Admit = %v, want %v (%s)",
+					tc.load, tc.incoming, dec.Admit, tc.admit, dec.Detail)
+			}
+			if dec.Reason != tc.reason {
+				t.Fatalf("reason = %q, want %q", dec.Reason, tc.reason)
+			}
+			if !dec.Admit {
+				if dec.RetryAfter < time.Second || dec.RetryAfter > time.Minute {
+					t.Fatalf("RetryAfter %v outside [1s, 60s]", dec.RetryAfter)
+				}
+				if dec.Detail == "" {
+					t.Fatal("rejection carries no detail")
+				}
+			}
+		})
+	}
+}
+
+func TestDecideZeroPolicyUsesDefaults(t *testing.T) {
+	dec := Policy{}.Decide(Load{QueueDepth: DefaultMaxQueue}, 0)
+	if dec.Admit || dec.Reason != ReasonQueueFull {
+		t.Fatalf("default queue cap not applied: %+v", dec)
+	}
+	if dec = (Policy{}).Decide(Load{}, 1024); !dec.Admit {
+		t.Fatalf("default policy sheds a tiny idle submission: %+v", dec)
+	}
+}
+
+// TestBurstShedding fires a concurrent burst at a daemon whose runners
+// are gated and asserts the bounded-queue contract: admitted jobs never
+// exceed queue capacity plus the runner slots, every reject is a 429
+// whose body and Retry-After header are well-formed, and after the gate
+// opens every admitted job completes. Run under -race this also hammers
+// the submit/enqueue paths for data races.
+func TestBurstShedding(t *testing.T) {
+	reg := obs.New()
+	const (
+		maxQueue = 4
+		conc     = 2
+		burst    = 40
+	)
+	d, err := New(Options{
+		Registry:    reg,
+		Policy:      Policy{MaxQueue: maxQueue},
+		Concurrency: conc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	gate := make(chan struct{})
+	d.gate = gate // runners block here; queue can only fill
+
+	srv := httptest.NewServer(muxFor(d))
+	defer srv.Close()
+
+	input := filepath.Join(t.TempDir(), "in.sam")
+	if err := os.WriteFile(input, []byte("@HD\tVN:1.6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := fmt.Sprintf(`{"op":"flagstat","input_path":%q}`, input)
+
+	var (
+		mu       sync.Mutex
+		accepted []string
+		rejected int
+	)
+	var wg sync.WaitGroup
+	wg.Add(burst)
+	for i := 0; i < burst; i++ {
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				var st Status
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				accepted = append(accepted, st.ID)
+				mu.Unlock()
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After header")
+				}
+				var e Error
+				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+					t.Errorf("429 body not structured: %v", err)
+					return
+				}
+				if e.Code != CodeOverloaded || e.RetryAfter < 1 {
+					t.Errorf("429 body = %+v", e)
+				}
+				mu.Lock()
+				rejected++
+				mu.Unlock()
+			default:
+				t.Errorf("unexpected status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The queue never exceeds its bound: at most maxQueue jobs waiting
+	// plus conc parked on the gate inside the runners.
+	if len(accepted) > maxQueue+conc {
+		t.Fatalf("%d jobs admitted; bound is %d queued + %d running", len(accepted), maxQueue, conc)
+	}
+	if len(accepted) == 0 {
+		t.Fatal("burst admitted nothing")
+	}
+	if rejected != burst-len(accepted) {
+		t.Fatalf("accepted %d + rejected %d ≠ burst %d", len(accepted), rejected, burst)
+	}
+	if got := reg.Counter("daemon.rejected").Value(); got != int64(rejected) {
+		t.Fatalf("daemon.rejected = %d, want %d", got, rejected)
+	}
+	if got := reg.Counter("daemon.jobs").Value(); got != int64(len(accepted)) {
+		t.Fatalf("daemon.jobs = %d, want %d", got, len(accepted))
+	}
+
+	close(gate)
+	deadline := time.Now().Add(30 * time.Second)
+	for _, id := range accepted {
+		for {
+			job, ok := d.lookup(id)
+			if !ok {
+				t.Fatalf("admitted job %s vanished", id)
+			}
+			if job.currentState().Terminal() {
+				if st := job.currentState(); st != StateDone {
+					t.Fatalf("job %s ended %s: %s", id, st, job.status().Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s still %s after gate opened", id, job.currentState())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// muxFor mounts a daemon the way seqconvd does.
+func muxFor(d *Daemon) *http.ServeMux {
+	mux := http.NewServeMux()
+	d.Install(mux)
+	return mux
+}

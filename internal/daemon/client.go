@@ -1,0 +1,164 @@
+// Client is the Go-side consumer of the job API — what `ngsbench
+// -daemon` and the end-to-end tests speak. It submits (JSON or streamed
+// upload), polls, and streams results; non-2xx responses surface as
+// *Error so callers branch on the stable code and honor RetryAfter.
+
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to one seqconvd instance.
+type Client struct {
+	// Base is the daemon's root URL, e.g. "http://127.0.0.1:8371".
+	Base string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// decodeError turns a non-2xx response into *Error, tolerating bodies
+// that are not the structured shape (proxies, panics).
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e Error
+	if err := json.Unmarshal(body, &e); err == nil && e.Code != "" {
+		return &e
+	}
+	return fmt.Errorf("daemon: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+// Submit sends one job. input == nil submits the spec as JSON
+// (spec.InputPath names the file); otherwise the spec rides the
+// X-Seqconvd-Spec header and input streams as the body.
+func (c *Client) Submit(spec JobSpec, input io.Reader) (Status, error) {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return Status{}, err
+	}
+	var req *http.Request
+	if input == nil {
+		req, err = http.NewRequest(http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(specJSON))
+		if err != nil {
+			return Status{}, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+	} else {
+		req, err = http.NewRequest(http.MethodPost, c.url("/v1/jobs"), input)
+		if err != nil {
+			return Status{}, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set(SpecHeader, string(specJSON))
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return Status{}, decodeError(resp)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("daemon: decoding submit response: %w", err)
+	}
+	return st, nil
+}
+
+// Status fetches one job's state.
+func (c *Client) Status(id string) (Status, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs/" + id))
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, decodeError(resp)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("daemon: decoding status: %w", err)
+	}
+	return st, nil
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Status, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Result streams one output file of a done job; file "" selects the
+// single output of a one-file job. The caller closes the reader.
+func (c *Client) Result(id, file string) (io.ReadCloser, error) {
+	u := c.url("/v1/jobs/" + id + "/result")
+	if file != "" {
+		u += "?file=" + file
+	}
+	resp, err := c.http().Get(u)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp.Body, nil
+}
+
+// Cancel requests cancellation and returns the post-cancel status.
+func (c *Client) Cancel(id string) (Status, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, decodeError(resp)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("daemon: decoding cancel response: %w", err)
+	}
+	return st, nil
+}

@@ -144,6 +144,14 @@ var MetricNames = []MetricInfo{
 	{"shard.steal", KindCounter, "shards a worker pulled beyond its first (dynamic-queue steals)"},
 	{"shard.skew", KindGauge, "per-mille ratio of the busiest worker's shard bytes to the mean"},
 
+	// Conversion/analysis daemon (internal/daemon): the job queue and
+	// its load-shedding admission control.
+	{"daemon.jobs", KindCounter, "jobs admitted into the queue"},
+	{"daemon.rejected", KindCounter, "submissions shed by admission control (429)"},
+	{"daemon.queue_depth", KindGauge, "jobs admitted and not yet running"},
+	{"daemon.running", KindGauge, "jobs currently executing"},
+	{"daemon.job_ns", KindHistogram, "job wall time from start to terminal state"},
+
 	// World-level telemetry derived by rank 0's gather (world.go).
 	{"world.size", KindGauge, "ranks known to the telemetry gather"},
 	{"world.straggler", KindGauge, "ranks whose progress lags the world median"},

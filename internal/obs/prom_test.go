@@ -157,6 +157,8 @@ func TestDeployedMetricNamesAreRegistered(t *testing.T) {
 		"world.straggler",
 		"pamx.bytes_inflated", "pamx.bytes_skipped", "pamx.fields",
 		"shard.count", "shard.steal",
+		"daemon.jobs", "daemon.rejected", "daemon.queue_depth",
+		"daemon.running", "daemon.job_ns",
 	} {
 		if _, ok := MetricHelp(name); !ok {
 			t.Errorf("deployed metric %q missing from the canonical inventory", name)

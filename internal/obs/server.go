@@ -40,18 +40,20 @@ type progressSample struct {
 	bytesIn int64
 }
 
-// StartServer starts the observability endpoint on addr (host:port;
-// ":0" picks a free port — read it back from Addr). view may be nil.
-func StartServer(addr string, reg *Registry, view *WorldView) (*Server, error) {
+// NewServer builds the endpoint's handler state without listening.
+// Callers that already run an HTTP front door (seqconvd) construct one
+// and Install its routes on their own mux instead of paying a second
+// listener; StartServer remains the one-call path for the CLIs.
+func NewServer(reg *Registry, view *WorldView) (*Server, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("obs: metrics server needs a registry")
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: metrics listener on %s: %w", addr, err)
-	}
-	s := &Server{reg: reg, view: view, ln: ln}
-	mux := http.NewServeMux()
+	return &Server{reg: reg, view: view}, nil
+}
+
+// Install registers the observability routes — /metrics, /progress,
+// /trace and /debug/pprof/* — on mux.
+func (s *Server) Install(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/trace", s.handleTrace)
@@ -60,6 +62,22 @@ func StartServer(addr string, reg *Registry, view *WorldView) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// StartServer starts the observability endpoint on addr (host:port;
+// ":0" picks a free port — read it back from Addr). view may be nil.
+func StartServer(addr string, reg *Registry, view *WorldView) (*Server, error) {
+	s, err := NewServer(reg, view)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener on %s: %w", addr, err)
+	}
+	s.ln = ln
+	mux := http.NewServeMux()
+	s.Install(mux)
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil

@@ -65,6 +65,9 @@ type Session struct {
 	stopSampler func()
 	stopSignals func()
 
+	hookMu       sync.Mutex
+	shutdownHook func(os.Signal)
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -124,6 +127,21 @@ func (s *Session) View() *obs.WorldView { return s.view }
 // when -metrics-addr is off.
 func (s *Session) ServerAddr() string { return s.server.Addr() }
 
+// OnShutdown registers a hook the SIGINT/SIGTERM handler runs before
+// flushing telemetry outputs and exiting — the seam seqconvd uses to
+// drain its job queue gracefully: stop admitting, finish in-flight work
+// within its timeout, then let the session flush profiles and metrics.
+// It installs the signal handler when no profiling flag already did.
+// The last registered hook wins.
+func (s *Session) OnShutdown(hook func(os.Signal)) {
+	s.hookMu.Lock()
+	s.shutdownHook = hook
+	s.hookMu.Unlock()
+	if s.stopSignals == nil {
+		s.handleSignals()
+	}
+}
+
 // handleSignals flushes the requested outputs on SIGINT/SIGTERM before
 // dying with the conventional 128+signal status. Without it an
 // interrupted run leaves a truncated CPU profile and no trace — the
@@ -139,6 +157,12 @@ func (s *Session) handleSignals() {
 	go func() {
 		select {
 		case sig := <-ch:
+			s.hookMu.Lock()
+			hook := s.shutdownHook
+			s.hookMu.Unlock()
+			if hook != nil {
+				hook(sig)
+			}
 			fmt.Fprintf(os.Stderr, "obsflag: %v: flushing profiles and traces\n", sig)
 			s.Close()
 			code := 128 + int(syscall.SIGTERM)
